@@ -1,0 +1,156 @@
+(* Benchmark harness: regenerates every experiment table (E1-E9, see
+   DESIGN.md section 3) and runs the Bechamel timing micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e6      # one experiment
+     dune exec bench/main.exe -- timing  # only the timing benches *)
+
+open Sparse_graph
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches: one Test.make per experiment workload       *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  let open Bechamel in
+  print_endline "\n### Timing micro-benchmarks (Bechamel, ns per run)";
+  let grid = Generators.grid 32 32 in
+  let apo = Generators.random_apollonian 256 ~seed:1 in
+  let apo_small = Generators.random_apollonian 64 ~seed:2 in
+  let w = Weights.random apo ~max_w:64 ~seed:3 in
+  let labels = Generators.random_sign_labels apo_small ~frac_pos:0.5 ~seed:4 in
+  let tree = Generators.random_tree 1024 ~seed:5 in
+  let tests =
+    [
+      (* E8 workload: the expander decomposition itself *)
+      Test.make ~name:"e8: expander decomposition (grid 1024)"
+        (Staged.stage (fun () ->
+             ignore
+               (Spectral.Expander_decomposition.decompose grid ~epsilon:0.5)));
+      (* E1 workload: exact MIS local solve *)
+      Test.make ~name:"e1: exact MIS (apollonian 64)"
+        (Staged.stage (fun () -> ignore (Optimize.Mis.exact apo_small)));
+      (* E2 workload: blossom matching local solve *)
+      Test.make ~name:"e2: blossom MCM (apollonian 256)"
+        (Staged.stage (fun () ->
+             ignore (Matching.Blossom.max_cardinality_matching apo)));
+      (* E3 workload: scaling MWM *)
+      Test.make ~name:"e3: scaling MWM (apollonian 256)"
+        (Staged.stage (fun () -> ignore (Matching.Scaling.run apo w)));
+      (* E4 workload: correlation local solver *)
+      Test.make ~name:"e4: correlation solve (apollonian 64)"
+        (Staged.stage (fun () ->
+             ignore (Optimize.Correlation.solve apo_small labels ~seed:5)));
+      (* E5 workload: planarity test *)
+      Test.make ~name:"e5: planarity test (apollonian 256)"
+        (Staged.stage (fun () -> ignore (Minorfree.Planarity.is_planar apo)));
+      (* E6 workload: KPR chop *)
+      Test.make ~name:"e6: KPR chop (grid 1024)"
+        (Staged.stage (fun () ->
+             ignore (Decomp.Kpr.chop grid ~width:8 ~levels:2 ~seed:6)));
+      (* E7 workload: balanced edge separator *)
+      Test.make ~name:"e7: edge separator (grid 1024)"
+        (Staged.stage (fun () ->
+             ignore (Decomp.Edge_separator.best grid ~seed:7)));
+      (* E9 workload: leader election on the simulator *)
+      Test.make ~name:"e9: leader election (tree 1024)"
+        (Staged.stage (fun () ->
+             ignore
+               (Distr.Leader_election.run
+                  (Distr.Cluster_view.whole tree)
+                  ~rounds:(Traversal.diameter_double_sweep tree + 2))));
+      (* E5 fast path: left-right planarity *)
+      Test.make ~name:"e5: LR planarity (apollonian 2000)"
+        (Staged.stage
+           (let big = Generators.random_apollonian 2000 ~seed:9 in
+            fun () -> ignore (Minorfree.Lr_planarity.is_planar big)));
+      (* E12 workload: the distributed construction *)
+      Test.make ~name:"e12: distributed decomposition (blob-chain 72)"
+        (Staged.stage
+           (let bc = Generators.blob_chain ~blobs:6 ~blob_size:12 ~seed:10 in
+            fun () ->
+              ignore
+                (Distr.Distributed_decomposition.decompose bc ~epsilon:0.4)));
+      (* local clustering *)
+      Test.make ~name:"nibble: PPR local cluster (blob-chain 720)"
+        (Staged.stage
+           (let bc = Generators.blob_chain ~blobs:60 ~blob_size:12 ~seed:11 in
+            fun () ->
+              ignore
+                (Spectral.Local_cluster.find bc ~seed_vertex:360
+                   ~target_volume:70)));
+      (* E13 workload: exact dominating set *)
+      Test.make ~name:"e13: exact dominating set (grid 36)"
+        (Staged.stage
+           (let g66 = Generators.grid 6 6 in
+            fun () -> ignore (Optimize.Dominating.exact g66)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let results_of test =
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = results_of (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) ->
+              Printf.printf "  %-45s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e11", Experiments.e11);
+    ("e12", Experiments.e12);
+    ("e13", Experiments.e13);
+    ("timing", timing);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  print_endline
+    "Benchmark harness: Chang & Su, 'Narrowing the LOCAL-CONGEST Gaps in";
+  print_endline
+    "Sparse Networks via Expander Decompositions' (PODC 2022) reproduction.";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s finished in %.1fs]\n" name
+            (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf
+            "unknown experiment %S (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    selected

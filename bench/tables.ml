@@ -1,0 +1,28 @@
+(* Aligned ASCII tables for the experiment harness. *)
+
+let print_table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let i = string_of_int
+
+let note fmt = Printf.printf fmt

@@ -1,0 +1,35 @@
+(* Shared workload generators for the experiments. *)
+
+open Sparse_graph
+
+let grid_of n =
+  let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+  Generators.grid side side
+
+let families ~seed =
+  [
+    ("grid", grid_of);
+    ("apollonian", fun n -> Generators.random_apollonian (max 4 n) ~seed);
+    ("tree", fun n -> Generators.random_tree (max 2 n) ~seed);
+    ("k-tree(3)", fun n -> Generators.random_k_tree (max 5 n) 3 ~seed);
+    ("outerplanar", fun n -> Generators.random_maximal_outerplanar (max 3 n) ~seed);
+    ("blob-chain", fun n ->
+      Generators.blob_chain ~blobs:(max 1 (n / 16)) ~blob_size:16 ~seed);
+  ]
+
+(* family list including non-minor-free contrast graphs, for E7 *)
+let families_with_contrast ~seed =
+  families ~seed
+  @ [
+      ("hypercube", fun n ->
+        let d = max 2 (int_of_float (log (float_of_int (max 4 n)) /. log 2.)) in
+        Generators.hypercube d);
+      ("random-3-regular", fun n ->
+        let n = if n mod 2 = 0 then n else n + 1 in
+        Generators.random_regular (max 4 n) 3 ~seed);
+    ]
+
+let planted_correlation g ~communities_count ~noise ~seed =
+  let n = Graph.n g in
+  let communities = Array.init n (fun v -> v mod communities_count) in
+  (communities, Generators.planted_sign_labels g communities ~noise ~seed)

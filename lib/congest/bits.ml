@@ -1,0 +1,4 @@
+let id_bits n =
+  max 1 (int_of_float (ceil (log (float_of_int (max n 2)) /. log 2.)))
+
+let words n k = k * id_bits n

@@ -1,0 +1,9 @@
+(** Declared bit sizes for messages, in the paper's O(log n)-bits-per-word
+    accounting. *)
+
+(** Bits needed for a vertex id in an n-vertex network:
+    [ceil(log2 (max n 2))]. *)
+val id_bits : int -> int
+
+(** [words n k] is the size of a message carrying [k] ids: [k * id_bits n]. *)
+val words : int -> int -> int

@@ -1,0 +1,119 @@
+open Sparse_graph
+
+type bandwidth = Congest of int | Local
+
+let congest_bandwidth ?(c = 8) n =
+  let bits = int_of_float (ceil (log (float_of_int (max n 2)) /. log 2.)) in
+  Congest (c * max 1 bits)
+
+exception Congestion_violation of {
+  round : int;
+  src : int;
+  dst : int;
+  bits : int;
+  budget : int;
+}
+
+type ctx = {
+  id : int;
+  n_hint : int;
+  neighbors : int array;
+}
+
+type ('state, 'msg) step = {
+  state : 'state;
+  send : (int * 'msg) list;
+  halt : bool;
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_edge_bits : int;
+  completed : bool;
+  last_traffic_round : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "rounds=%d messages=%d total_bits=%d max_edge_bits=%d completed=%b \
+     last_traffic=%d"
+    s.rounds s.messages s.total_bits s.max_edge_bits s.completed
+    s.last_traffic_round
+
+let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
+  let n = Graph.n g in
+  let ctxs =
+    Array.init n (fun v ->
+        { id = v; n_hint = n; neighbors = Array.of_list (Graph.neighbors g v) })
+  in
+  let states = Array.map init ctxs in
+  let halted = Array.make n false in
+  let inboxes : (int * 'msg) list array = Array.make n [] in
+  let messages = ref 0 in
+  let total_bits = ref 0 in
+  let max_edge_bits = ref 0 in
+  let last_traffic = ref 0 in
+  let rounds = ref 0 in
+  let live = ref n in
+  while !live > 0 && !rounds < max_rounds do
+    incr rounds;
+    let r = !rounds in
+    (* collect this round's traffic; per directed edge bit accounting *)
+    let outgoing = Array.make n [] in
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        let inbox =
+          List.stable_sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.rev inboxes.(v))
+        in
+        inboxes.(v) <- [];
+        let step = round r ctxs.(v) states.(v) inbox in
+        states.(v) <- step.state;
+        if step.halt then begin
+          halted.(v) <- true;
+          decr live
+        end
+        else outgoing.(v) <- step.send
+      end
+      else inboxes.(v) <- []
+    done;
+    for v = 0 to n - 1 do
+      (* enforce bandwidth per directed edge (v -> w) *)
+      let per_dst = Hashtbl.create 4 in
+      List.iter
+        (fun (w, msg) ->
+          if not (Graph.mem_edge g v w) then
+            invalid_arg
+              (Printf.sprintf "Network.run: vertex %d sent to non-neighbor %d"
+                 v w);
+          let bits = msg_bits msg in
+          let sofar = try Hashtbl.find per_dst w with Not_found -> 0 in
+          let now = sofar + bits in
+          Hashtbl.replace per_dst w now;
+          (match bandwidth with
+          | Local -> ()
+          | Congest budget ->
+              if now > budget then
+                raise
+                  (Congestion_violation
+                     { round = r; src = v; dst = w; bits = now; budget }));
+          total_bits := !total_bits + bits;
+          if now > !max_edge_bits then max_edge_bits := now;
+          incr messages;
+          last_traffic := r;
+          if not halted.(w) then inboxes.(w) <- (v, msg) :: inboxes.(w))
+        outgoing.(v)
+    done
+  done;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      total_bits = !total_bits;
+      max_edge_bits = !max_edge_bits;
+      completed = !live = 0;
+      last_traffic_round = !last_traffic;
+    } )

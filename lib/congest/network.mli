@@ -1,0 +1,78 @@
+(** Synchronous message-passing simulator for the LOCAL and CONGEST models.
+
+    Vertices host processors and operate in synchronized rounds (Section 1
+    of the paper). Each round, every non-halted vertex receives the messages
+    sent to it in the previous round, updates its state, and sends messages
+    to neighbors. In CONGEST mode the simulator {e enforces} the bandwidth
+    restriction: the total declared bit-size of the messages crossing a
+    directed edge in one round must not exceed the per-edge budget, or the
+    run aborts with {!Congestion_violation}.
+
+    The simulator uses the KT1 variant: a vertex knows its own id and the
+    ids of its neighbors (the paper's algorithms, e.g. leader election in
+    Theorem 2.6, exchange ids freely). *)
+
+(** Per-edge per-round bandwidth. [Congest bits] enforces the budget;
+    [Local] is the LOCAL model (unlimited). The paper's CONGEST budget is
+    [O(log n)]: use {!congest_bandwidth}. *)
+type bandwidth = Congest of int | Local
+
+(** [congest_bandwidth ?c n] is [c * ceil(log2 (max n 2))] bits (default
+    [c = 8], a conventional constant). *)
+val congest_bandwidth : ?c:int -> int -> bandwidth
+
+exception Congestion_violation of {
+  round : int;
+  src : int;
+  dst : int;
+  bits : int;
+  budget : int;
+}
+
+(** What the processor at a vertex can see locally. *)
+type ctx = {
+  id : int;               (** this vertex's id *)
+  n_hint : int;           (** number of network nodes (standard assumption) *)
+  neighbors : int array;  (** ids of adjacent vertices, sorted *)
+}
+
+(** One vertex's round outcome: new state, outgoing messages as
+    [(neighbor, message)] pairs, and whether the vertex halts. A halted
+    vertex sends nothing and its state no longer changes; messages arriving
+    at a halted vertex are dropped. *)
+type ('state, 'msg) step = {
+  state : 'state;
+  send : (int * 'msg) list;
+  halt : bool;
+}
+
+(** Cumulative execution statistics. *)
+type stats = {
+  rounds : int;                (** rounds executed *)
+  messages : int;              (** total messages delivered *)
+  total_bits : int;            (** total declared bits sent *)
+  max_edge_bits : int;         (** max bits on one directed edge in one round *)
+  completed : bool;            (** every vertex halted before the round cap *)
+  last_traffic_round : int;    (** last round in which any message was sent;
+                                   0 if the run was silent *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [run g ~bandwidth ~msg_bits ~init ~round ~max_rounds] executes the
+    algorithm synchronously on the topology [g] and returns the final
+    states with statistics. [init ctx] builds the starting state; [round r
+    ctx state inbox] computes round [r >= 1] ([inbox] lists [(sender,
+    message)] pairs received this round, sorted by sender). Execution stops
+    when every vertex has halted, or after [max_rounds] rounds.
+
+    @raise Congestion_violation when a CONGEST budget is exceeded.
+    @raise Invalid_argument if a vertex sends to a non-neighbor. *)
+val run :
+  Sparse_graph.Graph.t ->
+  bandwidth:bandwidth ->
+  msg_bits:('msg -> int) ->
+  init:(ctx -> 'state) ->
+  round:(int -> ctx -> 'state -> (int * 'msg) list -> ('state, 'msg) step) ->
+  max_rounds:int ->
+  'state array * stats

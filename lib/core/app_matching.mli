@@ -1,0 +1,34 @@
+(** Theorems 3.2 and 1.1: approximate matching via the framework.
+
+    {b MCM on planar graphs} (Section 3.2): eliminate 2-stars and
+    3-double-stars so the optimum is Omega(n-bar) (Lemma 3.1), decompose
+    the reduced graph with [eps' = c * epsilon], solve each cluster with
+    the exact blossom algorithm, and take the union — clusters are
+    vertex-disjoint, so no conflicts arise.
+
+    {b MWM on H-minor-free graphs} (Theorem 1.1 shape): walk the weight
+    scales from heavy to light (the Duan–Pettie skeleton); at each scale,
+    decompose the subgraph of still-eligible edges and let each leader
+    extend the global matching inside its cluster (exact subset DP when the
+    cluster is small, bounded-length local search otherwise). *)
+
+type result = {
+  mate : int array;          (** on the original graph *)
+  size : int;                (** matched edges *)
+  weight : int;              (** total weight (1 per edge for MCM) *)
+  pipeline : Pipeline.t option;  (** last pipeline run (MWM: the last scale) *)
+}
+
+(** [mcm_planar ?mode ?c g ~epsilon ~seed]. [c] is the Lemma 3.1 constant
+    used as [eps' = c * epsilon] (default 0.25). *)
+val mcm_planar :
+  ?mode:Pipeline.mode -> ?c:float -> Sparse_graph.Graph.t -> epsilon:float ->
+  seed:int -> result
+
+(** [mwm ?mode ?exact_limit g w ~epsilon ~seed] (default exact_limit 18). *)
+val mwm :
+  ?mode:Pipeline.mode -> ?exact_limit:int -> Sparse_graph.Graph.t ->
+  Sparse_graph.Weights.t -> epsilon:float -> seed:int -> result
+
+(** Ratio against a reference optimum value. *)
+val ratio : result -> opt:int -> float

@@ -1,0 +1,82 @@
+(** The framework of Theorem 2.6: expander-decompose, elect a maximum-degree
+    leader per cluster, gather each cluster's topology at its leader, let
+    the leader solve locally, and broadcast results back.
+
+    Two execution modes:
+    - [Simulated]: leader election, low-out-degree orientation, random-walk
+      routing (Lemma 2.4) and broadcast all actually run on the CONGEST
+      simulator, with real round/bandwidth accounting. The walk budget
+      doubles until gathering completes.
+    - [Charged]: the communication phases are skipped (results produced
+      centrally, bit-identical to a successful simulated run) and the
+      construction cost is charged by the Theorem 2.1 formula. Use for
+      large benchmark instances where simulating every token is too slow.
+
+    The expander decomposition itself is always computed centrally (see
+    DESIGN.md, substitution 1) and charged [ceil(eps^-2 * log2(n)^3)]
+    rounds, the epsilon^-O(1) log^O(1) n shape of Theorem 2.1 with
+    exponents (2, 3). *)
+
+type mode = Simulated | Charged
+
+type cluster = {
+  leader : int;                     (** v_i*, in original vertex ids *)
+  members : int list;               (** V_i, sorted *)
+  sub : Sparse_graph.Graph.t;       (** G[V_i] *)
+  mapping : Sparse_graph.Graph_ops.mapping;  (** sub <-> original *)
+}
+
+type report = {
+  epsilon : float;
+  phi : float;                      (** certified conductance target *)
+  k : int;                          (** number of clusters *)
+  inter_edges : int;
+  inter_fraction : float;
+  charged_construction_rounds : int;
+  diameter_bound : int;             (** bound b used for flood phases *)
+  election_stats : Congest.Network.stats option;
+  orientation_stats : Congest.Network.stats option;
+  routing_stats : Congest.Network.stats option;
+  broadcast_stats : Congest.Network.stats option;
+  simulated_rounds : int;           (** total measured rounds of the
+                                        simulated phases (0 in Charged) *)
+}
+
+type t = {
+  graph : Sparse_graph.Graph.t;
+  decomposition : Spectral.Expander_decomposition.t;
+  view : Distr.Cluster_view.t;
+  leader_of : int array;
+  clusters : cluster array;
+  report : report;
+}
+
+(** [prepare ?mode g ~epsilon ~seed] runs decomposition, election, and
+    gathering. In [Simulated] mode (default) the phases run on the CONGEST
+    simulator; gathering retries with doubled walk budgets until complete.
+    @raise Failure if simulated gathering cannot complete within the
+    largest budget (does not occur on certified decompositions). *)
+val prepare :
+  ?mode:mode -> Sparse_graph.Graph.t -> epsilon:float -> seed:int -> t
+
+(** [solve_locally t f] runs [f] on every cluster (the leader's local
+    computation) and returns the per-cluster results. *)
+val solve_locally : t -> (cluster -> 'a) -> 'a array
+
+(** [broadcast_result t ~payload] simulates broadcasting one word from each
+    leader over its cluster and returns the stats (Simulated mode); in
+    Charged mode returns [None]. [payload] maps each leader to the value it
+    announces. *)
+val broadcast_result :
+  t -> payload:(int -> int) -> Congest.Network.stats option
+
+(** Theorem 2.1 construction-round charge: [ceil(eps^-2 * log2(max n 2)^3)]. *)
+val construction_charge : n:int -> epsilon:float -> int
+
+(** Theorem 2.2 deterministic construction charge:
+    [ceil(eps^-2 * 2^sqrt(log2 n * log2 log2 n))] — the
+    [eps^-O(1) 2^O(sqrt(log n log log n))] shape with exponents (2, 1).
+    Reported for comparison in experiment E8; the decomposition itself is
+    deterministic given the seed, so the same algorithm realizes both
+    statements. *)
+val construction_charge_deterministic : n:int -> epsilon:float -> int

@@ -1,0 +1,35 @@
+(** Balanced edge separators (Theorem 1.6).
+
+    An edge separator is a cut [S, V \ S] with [min(|S|, |V \ S|) >= n/3];
+    its size is the number of crossing edges. Theorem 1.6: every
+    H-minor-free graph has one of size O(sqrt(Delta * n)). The constructive
+    algorithms here realize the bound empirically (experiment E7): BFS layer
+    cuts, spectral sweep restricted to balanced prefixes, and a greedy
+    exchange refinement. *)
+
+type cut = {
+  side : bool array;
+  crossing : int;       (** separator size |d(S)| *)
+  small_side : int;     (** min(|S|, |V \ S|) *)
+}
+
+(** Is the cut balanced, [min >= n/3]? (The paper's definition; [n < 3]
+    graphs are vacuously balanced at [floor(n/3)].) *)
+val is_balanced : Sparse_graph.Graph.t -> cut -> bool
+
+(** Best balanced prefix over BFS layerings from several start vertices. *)
+val bfs_layered : Sparse_graph.Graph.t -> cut
+
+(** Best balanced prefix of the Fiedler embedding order. *)
+val spectral : Sparse_graph.Graph.t -> seed:int -> cut
+
+(** [refine g cut ~passes] moves boundary vertices across while the cut
+    shrinks and balance is preserved. *)
+val refine : Sparse_graph.Graph.t -> cut -> passes:int -> cut
+
+(** Best of all methods, refined. Requires [n >= 2]. *)
+val best : Sparse_graph.Graph.t -> seed:int -> cut
+
+(** [quality g cut] is [crossing / sqrt(Delta * n)] — the Theorem 1.6 ratio
+    reported by experiment E7. *)
+val quality : Sparse_graph.Graph.t -> cut -> float

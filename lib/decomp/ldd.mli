@@ -1,0 +1,24 @@
+(** Low-diameter decompositions (Theorem 1.5 substrate).
+
+    An (epsilon, D) low-diameter decomposition cuts at most [epsilon * m]
+    edges so every remaining cluster has diameter at most D. Three
+    constructions:
+
+    - {!region_growing}: deterministic ball growing; guarantees the cut
+      budget outright and D = O(log(m)/epsilon) on any graph.
+    - {!mpx}: Miller–Peng–Xu random exponential shifts; every edge is cut
+      with probability O(beta), clusters have radius O(log(n)/beta) w.h.p.
+    - {!Kpr}: iterated band chopping achieving the minor-free-optimal
+      D = O(1/epsilon) shape (separate module).  *)
+
+(** [region_growing g ~epsilon] grows a BFS ball from an arbitrary
+    remaining vertex, stopping as soon as the next layer's boundary has
+    fewer than [epsilon] times the edges already inside the ball, then
+    carves the ball; repeats until the graph is exhausted. The total cut is
+    less than [epsilon * m].
+    @raise Invalid_argument unless [epsilon > 0]. *)
+val region_growing : Sparse_graph.Graph.t -> epsilon:float -> Partition.t
+
+(** [mpx g ~beta ~seed]: vertex [u] draws [delta_u ~ Exp(beta)]; each
+    vertex joins the cluster of the [u] minimizing [d(u, v) - delta_u]. *)
+val mpx : Sparse_graph.Graph.t -> beta:float -> seed:int -> Partition.t

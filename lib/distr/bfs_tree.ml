@@ -1,0 +1,87 @@
+open Sparse_graph
+open Congest
+
+type result = {
+  parent : int array;
+  depth : int array;
+  stats : Network.stats;
+}
+
+type state = {
+  parent : int;
+  depth : int;
+  announced : bool;
+}
+
+let run (view : Cluster_view.t) ~roots ~rounds =
+  let g = view.graph in
+  let n = Graph.n g in
+  let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in
+  let init (ctx : Network.ctx) =
+    if roots.(ctx.id) then { parent = ctx.id; depth = 0; announced = false }
+    else { parent = -1; depth = -1; announced = false }
+  in
+  let round r (ctx : Network.ctx) st inbox =
+    (* adopt the smallest-id sender as parent if not yet reached *)
+    let st =
+      if st.parent >= 0 then st
+      else
+        match inbox with
+        | [] -> st
+        | (sender, d) :: _ -> { parent = sender; depth = d + 1; announced = false }
+    in
+    if r > rounds then { Network.state = st; send = []; halt = true }
+    else if st.parent >= 0 && not st.announced then
+      {
+        Network.state = { st with announced = true };
+        send = List.map (fun w -> (w, st.depth)) intra.(ctx.id);
+        halt = false;
+      }
+    else { Network.state = st; send = []; halt = false }
+  in
+  let states, stats =
+    Network.run g
+      ~bandwidth:(Network.congest_bandwidth n)
+      ~msg_bits:(fun _ -> Bits.words n 1)
+      ~init ~round ~max_rounds:(rounds + 1)
+  in
+  {
+    parent = Array.map (fun st -> st.parent) states;
+    depth = Array.map (fun st -> st.depth) states;
+    stats;
+  }
+
+let check (view : Cluster_view.t) (result : result) ~roots =
+  let g = view.graph in
+  let n = Graph.n g in
+  (* centralized multi-source BFS restricted to intra-cluster edges *)
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if roots.(v) then begin
+      dist.(v) <- 0;
+      Queue.add v queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      (Cluster_view.intra_neighbors view v)
+  done;
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if result.depth.(v) <> dist.(v) then ok := false;
+    if result.parent.(v) >= 0 && result.parent.(v) <> v then begin
+      (* parent must be an intra-cluster neighbor one level up *)
+      if view.labels.(result.parent.(v)) <> view.labels.(v) then ok := false;
+      if not (Graph.mem_edge g v result.parent.(v)) then ok := false;
+      if result.depth.(result.parent.(v)) <> result.depth.(v) - 1 then
+        ok := false
+    end
+  done;
+  !ok

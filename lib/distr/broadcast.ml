@@ -1,0 +1,74 @@
+open Sparse_graph
+open Congest
+
+type result = {
+  received : int array;
+  stats : Network.stats;
+}
+
+type state = {
+  value : int;
+  fresh : bool;
+}
+
+let run (view : Cluster_view.t) ~sources ~rounds =
+  let g = view.graph in
+  let n = Graph.n g in
+  let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in
+  let init (ctx : Network.ctx) =
+    match sources.(ctx.id) with
+    | Some x -> { value = x; fresh = true }
+    | None -> { value = -1; fresh = false }
+  in
+  let round r (ctx : Network.ctx) st inbox =
+    let st =
+      if st.value >= 0 then st
+      else
+        match inbox with
+        | [] -> st
+        | (_, x) :: _ -> { value = x; fresh = true }
+    in
+    if r > rounds then { Network.state = st; send = []; halt = true }
+    else if st.fresh then
+      {
+        Network.state = { st with fresh = false };
+        send = List.map (fun w -> (w, st.value)) intra.(ctx.id);
+        halt = false;
+      }
+    else { Network.state = st; send = []; halt = false }
+  in
+  let states, stats =
+    Network.run g
+      ~bandwidth:(Network.congest_bandwidth n)
+      ~msg_bits:(fun _ -> Bits.words n 1)
+      ~init ~round ~max_rounds:(rounds + 1)
+  in
+  { received = Array.map (fun st -> st.value) states; stats }
+
+let check (view : Cluster_view.t) result ~sources =
+  let n = Graph.n view.graph in
+  (* expected value per vertex: flood sources along intra-cluster edges *)
+  let expected = Array.make n (-1) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    match sources.(v) with
+    | Some x ->
+        expected.(v) <- x;
+        Queue.add v queue
+    | None -> ()
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if expected.(w) < 0 then begin
+          expected.(w) <- expected.(v);
+          Queue.add w queue
+        end)
+      (Cluster_view.intra_neighbors view v)
+  done;
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if result.received.(v) <> expected.(v) then ok := false
+  done;
+  !ok

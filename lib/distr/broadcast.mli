@@ -1,0 +1,19 @@
+(** Cluster-wide broadcast from each cluster's leader.
+
+    The leader's value (one word) is flooded over intra-cluster edges; after
+    [rounds >= diameter(G[V_i])] every member has received it. This is the
+    "broadcast the result over the cluster" step of the framework
+    (Section 1.2). *)
+
+type result = {
+  received : int array;  (** value received, or [-1] if none arrived *)
+  stats : Congest.Network.stats;
+}
+
+(** [run view ~sources ~rounds]: [sources.(v) = Some x] makes [v] originate
+    value [x >= 0]. *)
+val run : Cluster_view.t -> sources:int option array -> rounds:int -> result
+
+(** Every vertex in a cluster with a (unique) source must receive the
+    source's value. *)
+val check : Cluster_view.t -> result -> sources:int option array -> bool

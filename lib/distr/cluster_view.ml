@@ -1,0 +1,36 @@
+open Sparse_graph
+
+type t = {
+  graph : Graph.t;
+  labels : int array;
+}
+
+let whole graph = { graph; labels = Array.make (Graph.n graph) 0 }
+
+let of_labels graph labels =
+  if Array.length labels <> Graph.n graph then
+    invalid_arg "Cluster_view.of_labels: label array length mismatch";
+  { graph; labels }
+
+let intra_neighbors t v =
+  Graph.fold_neighbors t.graph v
+    (fun acc w -> if t.labels.(w) = t.labels.(v) then w :: acc else acc)
+    []
+  |> List.rev
+
+let intra_degree t v = List.length (intra_neighbors t v)
+
+let members t v =
+  let l = t.labels.(v) in
+  let out = ref [] in
+  for u = Graph.n t.graph - 1 downto 0 do
+    if t.labels.(u) = l then out := u :: !out
+  done;
+  !out
+
+let cluster_edges t v =
+  let l = t.labels.(v) in
+  Graph.fold_edges t.graph
+    (fun acc _ a b ->
+      if t.labels.(a) = l && t.labels.(b) = l then acc + 1 else acc)
+    0

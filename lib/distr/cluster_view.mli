@@ -1,0 +1,29 @@
+(** Shared input for per-cluster CONGEST algorithms.
+
+    After the clustering step (Theorem 2.6), every vertex knows its own
+    cluster id, and — after one round of exchange — the cluster ids of its
+    neighbors. All algorithms in this library communicate only along
+    intra-cluster edges of the cluster view. *)
+
+type t = {
+  graph : Sparse_graph.Graph.t;
+  labels : int array;  (** vertex -> cluster id *)
+}
+
+(** View where the whole graph is one cluster. *)
+val whole : Sparse_graph.Graph.t -> t
+
+(** View induced by an explicit labelling. *)
+val of_labels : Sparse_graph.Graph.t -> int array -> t
+
+(** Neighbors of [v] inside its own cluster (sorted). *)
+val intra_neighbors : t -> int -> int list
+
+(** Degree of [v] counting only intra-cluster edges: [deg_Gi(v)]. *)
+val intra_degree : t -> int -> int
+
+(** Vertices of the cluster containing [v]. *)
+val members : t -> int -> int list
+
+(** Number of intra-cluster edges of [v]'s cluster: [|E_i|]. *)
+val cluster_edges : t -> int -> int

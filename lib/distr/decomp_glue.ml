@@ -1,0 +1,23 @@
+open Sparse_graph
+
+let split_disconnected g labels hint =
+  let n = Graph.n g in
+  ignore hint;
+  (* union-find over same-label edges: classes = label-restricted components *)
+  let uf = Union_find.create n in
+  Graph.iter_edges g (fun _ u v ->
+      if labels.(u) = labels.(v) then ignore (Union_find.union uf u v));
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let out =
+    Array.init n (fun v ->
+        let root = Union_find.find uf v in
+        match Hashtbl.find_opt remap root with
+        | Some l -> l
+        | None ->
+            let l = !next in
+            incr next;
+            Hashtbl.add remap root l;
+            l)
+  in
+  (out, !next)

@@ -1,0 +1,10 @@
+(** Centralized relabeling glue shared by the distributed decomposition: a
+    label class whose induced subgraph is disconnected is split into one
+    label per connected component (no information a vertex could not
+    compute with one intra-cluster BFS). *)
+
+(** [split_disconnected g labels hint] returns the refined labels
+    (renumbered to [0 .. k-1]) and [k]. [hint] is ignored except as a
+    capacity hint. *)
+val split_disconnected :
+  Sparse_graph.Graph.t -> int array -> int -> int array * int

@@ -1,0 +1,87 @@
+open Sparse_graph
+open Congest
+
+type result = {
+  leader_of : int array;
+  leader_deg : int array;
+  stats : Network.stats;
+}
+
+(* state: best (deg, id) pair seen; changed flag controls re-broadcast *)
+type state = {
+  best_deg : int;
+  best_id : int;
+  changed : bool;
+}
+
+let better (d1, i1) (d2, i2) = d1 > d2 || (d1 = d2 && i1 > i2)
+
+let run (view : Cluster_view.t) ~rounds =
+  let g = view.graph in
+  let n = Graph.n g in
+  let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in
+  let init (ctx : Network.ctx) =
+    { best_deg = List.length intra.(ctx.id); best_id = ctx.id; changed = true }
+  in
+  let round r (ctx : Network.ctx) st inbox =
+    let best =
+      List.fold_left
+        (fun (d, i) (_, (d', i')) -> if better (d', i') (d, i) then (d', i') else (d, i))
+        (st.best_deg, st.best_id) inbox
+    in
+    let bd, bi = best in
+    let changed = bd <> st.best_deg || bi <> st.best_id || r = 1 in
+    let st' = { best_deg = bd; best_id = bi; changed } in
+    if r > rounds then { Network.state = st'; send = []; halt = true }
+    else begin
+      let send =
+        if changed then List.map (fun w -> (w, (bd, bi))) intra.(ctx.id)
+        else []
+      in
+      { Network.state = st'; send; halt = false }
+    end
+  in
+  let states, stats =
+    Network.run g
+      ~bandwidth:(Network.congest_bandwidth n)
+      ~msg_bits:(fun _ -> Bits.words n 2)
+      ~init ~round ~max_rounds:(rounds + 1)
+  in
+  {
+    leader_of = Array.map (fun st -> st.best_id) states;
+    leader_deg = Array.map (fun st -> st.best_deg) states;
+    stats;
+  }
+
+let check (view : Cluster_view.t) result =
+  let g = view.graph in
+  let n = Graph.n g in
+  let ok = ref true in
+  (* group vertices by cluster *)
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    let l = view.labels.(v) in
+    let cur = try Hashtbl.find tbl l with Not_found -> [] in
+    Hashtbl.replace tbl l (v :: cur)
+  done;
+  Hashtbl.iter
+    (fun _ vs ->
+      match vs with
+      | [] -> ()
+      | v0 :: _ ->
+          let leader = result.leader_of.(v0) in
+          (* agreement *)
+          List.iter
+            (fun v -> if result.leader_of.(v) <> leader then ok := false)
+            vs;
+          (* membership *)
+          if not (List.mem leader vs) then ok := false;
+          (* maximality, ties to larger id *)
+          let ld = Cluster_view.intra_degree view leader in
+          List.iter
+            (fun v ->
+              let d = Cluster_view.intra_degree view v in
+              if d > ld || (d = ld && v > leader) then ok := false)
+            vs)
+    tbl;
+  !ok

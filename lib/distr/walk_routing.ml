@@ -1,0 +1,154 @@
+open Sparse_graph
+open Congest
+
+type token = {
+  origin : int;
+  seq : int;
+}
+
+type result = {
+  delivered : (int * token list) list;
+  undelivered : int;
+  stats : Network.stats;
+}
+
+(* a token in flight, held by some vertex *)
+type flight = {
+  tok : token;
+  steps : int;                (* lazy steps taken so far *)
+  pending : int option;       (* sampled move not yet transmitted *)
+}
+
+type state = {
+  rng : Random.State.t;
+  queue : flight list;
+  absorbed : token list;      (* tokens delivered to this vertex (leader) *)
+  dropped : int;
+}
+
+let token_words = 3 (* origin, seq, step counter *)
+
+let run (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
+    ~max_rounds =
+  let g = view.graph in
+  let n = Graph.n g in
+  let intra =
+    Array.init n (fun v -> Array.of_list (Cluster_view.intra_neighbors view v))
+  in
+  let budget =
+    match Network.congest_bandwidth n with
+    | Network.Congest b -> b
+    | Network.Local -> max_int
+  in
+  let token_bits = Bits.words n token_words in
+  let capacity = max 1 (budget / token_bits) in
+  let init (ctx : Network.ctx) =
+    let rng = Random.State.make [| seed; ctx.id; 7919 |] in
+    let own =
+      List.init (tokens_of ctx.id) (fun seq ->
+          { tok = { origin = ctx.id; seq }; steps = 0; pending = None })
+    in
+    if leader_of.(ctx.id) = ctx.id then
+      (* the leader's own tokens are already delivered *)
+      { rng; queue = []; absorbed = List.map (fun f -> f.tok) own; dropped = 0 }
+    else { rng; queue = own; absorbed = []; dropped = 0 }
+  in
+  let round _r (ctx : Network.ctx) st inbox =
+    let v = ctx.id in
+    (* receive tokens; leader absorbs *)
+    let incoming = List.map snd inbox in
+    let st =
+      if leader_of.(v) = v then
+        { st with absorbed = List.map (fun f -> f.tok) incoming @ st.absorbed }
+      else { st with queue = st.queue @ incoming }
+    in
+    (* advance each queued token by sampling a lazy step if none pending *)
+    let advance (fl : flight) (keep, drop) =
+      match fl.pending with
+      | Some _ -> (fl :: keep, drop)
+      | None ->
+          if fl.steps >= walk_len then (keep, drop + 1)
+          else begin
+            let deg = Array.length intra.(v) in
+            let stay = deg = 0 || Random.State.bool st.rng in
+            if stay then
+              (* lazy self-loop: a step with no transmission *)
+              ({ fl with steps = fl.steps + 1 } :: keep, drop)
+            else begin
+              let w = intra.(v).(Random.State.int st.rng deg) in
+              ({ fl with steps = fl.steps + 1; pending = Some w } :: keep, drop)
+            end
+          end
+    in
+    let queue, newly_dropped = List.fold_right advance st.queue ([], 0) in
+    (* transmit pending tokens, at most [capacity] per neighbor per round *)
+    let sent_count = Hashtbl.create 4 in
+    let send = ref [] in
+    let still = ref [] in
+    List.iter
+      (fun fl ->
+        match fl.pending with
+        | Some w ->
+            let c = try Hashtbl.find sent_count w with Not_found -> 0 in
+            if c < capacity then begin
+              Hashtbl.replace sent_count w (c + 1);
+              send := (w, { fl with pending = None }) :: !send
+            end
+            else still := fl :: !still
+        | None ->
+            (* stayed this round; keep walking next round *)
+            still := fl :: !still)
+      queue;
+    let st =
+      { st with queue = List.rev !still; dropped = st.dropped + newly_dropped }
+    in
+    { Network.state = st; send = !send; halt = false }
+  in
+  let states, stats =
+    Network.run g
+      ~bandwidth:(Network.congest_bandwidth n)
+      ~msg_bits:(fun _ -> token_bits)
+      ~init ~round ~max_rounds
+  in
+  let delivered = ref [] in
+  let undelivered = ref 0 in
+  Array.iteri
+    (fun v st ->
+      if st.absorbed <> [] then delivered := (v, st.absorbed) :: !delivered;
+      undelivered := !undelivered + st.dropped + List.length st.queue)
+    states;
+  { delivered = List.rev !delivered; undelivered = !undelivered; stats }
+
+let total_tokens (view : Cluster_view.t) ~tokens_of =
+  let total = ref 0 in
+  for v = 0 to Graph.n view.graph - 1 do
+    total := !total + tokens_of v
+  done;
+  !total
+
+let delivery_rate view ~tokens_of result =
+  let total = total_tokens view ~tokens_of in
+  if total = 0 then 1.
+  else begin
+    let got =
+      List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0
+        result.delivered
+    in
+    float_of_int got /. float_of_int total
+  end
+
+let check (view : Cluster_view.t) ~leader_of ~tokens_of result =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun (leader, toks) ->
+      List.iter
+        (fun t ->
+          if Hashtbl.mem seen t then ok := false;
+          Hashtbl.add seen t ();
+          if leader_of.(t.origin) <> leader then ok := false;
+          if t.seq < 0 || t.seq >= tokens_of t.origin then ok := false)
+        toks)
+    result.delivered;
+  let got = Hashtbl.length seen in
+  !ok && got + result.undelivered = total_tokens view ~tokens_of

@@ -1,0 +1,50 @@
+(** Random-walk routing to the cluster leader (Lemma 2.4).
+
+    Every vertex originates a fixed number of tokens (each one [O(log n)]
+    bits). Tokens perform independent uniform lazy random walks along
+    intra-cluster edges; a token is absorbed — delivered — the first time it
+    reaches the cluster's leader. The lemma proves that with walk length
+    [O(phi^-2 log n) * O(phi^-2 log n)] every token reaches a
+    maximum-degree leader w.h.p., and that per walk step only [O(log n)]
+    tokens cross each edge w.h.p., so each step costs [O(log n)] CONGEST
+    rounds.
+
+    The simulator enforces the CONGEST budget directly: a vertex forwards at
+    most [capacity] tokens per edge per round (capacity = bandwidth /
+    token size); excess tokens retry on later rounds (their sampled step is
+    kept, so the walk distribution is unchanged, only delayed). *)
+
+type token = {
+  origin : int;  (** vertex that created the token *)
+  seq : int;     (** sequence number among the origin's tokens *)
+}
+
+type result = {
+  delivered : (int * token list) list;
+      (** per leader: tokens it absorbed *)
+  undelivered : int;
+      (** tokens dropped (walk budget exhausted) or still in flight *)
+  stats : Congest.Network.stats;
+}
+
+(** [run view ~leader_of ~tokens_of ~walk_len ~seed ~max_rounds] routes
+    [tokens_of v] tokens from every vertex [v] to its cluster leader
+    ([leader_of.(v)], e.g. from {!Leader_election}). A token is dropped once
+    it has taken [walk_len] lazy steps without reaching the leader
+    (experiment E9 sweeps this budget); the run ends when no token is in
+    flight or at [max_rounds]. *)
+val run :
+  Cluster_view.t ->
+  leader_of:int array ->
+  tokens_of:(int -> int) ->
+  walk_len:int ->
+  seed:int ->
+  max_rounds:int ->
+  result
+
+(** Fraction of tokens delivered. *)
+val delivery_rate : Cluster_view.t -> tokens_of:(int -> int) -> result -> float
+
+(** Every expected token is delivered exactly once, to the right leader. *)
+val check : Cluster_view.t -> leader_of:int array -> tokens_of:(int -> int) ->
+  result -> bool

@@ -1,0 +1,163 @@
+type t = {
+  n : int;
+  adj_off : int array;
+  adj_vtx : int array;
+  adj_eid : int array;
+  edge_ends : (int * int) array;
+}
+
+let normalize (u, v) = if u <= v then (u, v) else (v, u)
+
+let of_edge_array n raw =
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edges: endpoint out of range (%d,%d), n=%d"
+             u v n))
+    raw;
+  let cleaned =
+    Array.to_list raw
+    |> List.filter_map (fun (u, v) ->
+           if u = v then None else Some (normalize (u, v)))
+    |> List.sort_uniq compare
+  in
+  let edge_ends = Array.of_list cleaned in
+  let m = Array.length edge_ends in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_ends;
+  let adj_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    adj_off.(v + 1) <- adj_off.(v) + deg.(v)
+  done;
+  let adj_vtx = Array.make (2 * m) 0 in
+  let adj_eid = Array.make (2 * m) 0 in
+  let cursor = Array.copy adj_off in
+  Array.iteri
+    (fun e (u, v) ->
+      adj_vtx.(cursor.(u)) <- v;
+      adj_eid.(cursor.(u)) <- e;
+      cursor.(u) <- cursor.(u) + 1;
+      adj_vtx.(cursor.(v)) <- u;
+      adj_eid.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1)
+    edge_ends;
+  (* Filling in edge order interleaves low and high endpoints, so rows are not
+     sorted yet; sort each (neighbor, edge id) row to establish the invariant. *)
+  let g = { n; adj_off; adj_vtx; adj_eid; edge_ends } in
+  for v = 0 to n - 1 do
+    let lo = adj_off.(v) and hi = adj_off.(v + 1) in
+    let row = Array.init (hi - lo) (fun i -> (adj_vtx.(lo + i), adj_eid.(lo + i))) in
+    Array.sort compare row;
+    Array.iteri
+      (fun i (w, e) ->
+        adj_vtx.(lo + i) <- w;
+        adj_eid.(lo + i) <- e)
+      row
+  done;
+  g
+
+let of_edges n edges = of_edge_array n (Array.of_list edges)
+
+let empty n = of_edge_array n [||]
+
+let n g = g.n
+let m g = Array.length g.edge_ends
+let degree g v = g.adj_off.(v + 1) - g.adj_off.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let max_degree_vertex g =
+  if g.n = 0 then invalid_arg "Graph.max_degree_vertex: empty graph";
+  let best = ref 0 in
+  for v = 1 to g.n - 1 do
+    if degree g v > degree g !best then best := v
+  done;
+  !best
+
+let endpoints g e = g.edge_ends.(e)
+
+let find_incidence g u v =
+  (* binary search for v in u's sorted adjacency row *)
+  let lo = ref g.adj_off.(u) and hi = ref (g.adj_off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj_vtx.(mid) in
+    if w = v then found := mid
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem_edge g u v = u <> v && find_incidence g u v >= 0
+
+let find_edge g u v =
+  let i = find_incidence g u v in
+  if i < 0 then raise Not_found else g.adj_eid.(i)
+
+let iter_neighbors g v f =
+  for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj_vtx.(i)
+  done
+
+let iter_incident g v f =
+  for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj_vtx.(i) g.adj_eid.(i)
+  done
+
+let fold_neighbors g v f init =
+  let acc = ref init in
+  iter_neighbors g v (fun w -> acc := f !acc w);
+  !acc
+
+let neighbors g v = List.rev (fold_neighbors g v (fun acc w -> w :: acc) [])
+
+let iter_edges g f =
+  Array.iteri (fun e (u, v) -> f e u v) g.edge_ends
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun e u v -> acc := f !acc e u v);
+  !acc
+
+let edges g = Array.copy g.edge_ends
+
+let volume g vs = List.fold_left (fun acc v -> acc + degree g v) 0 vs
+
+let edge_density g = if g.n = 0 then 0. else float_of_int (m g) /. float_of_int g.n
+
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n (m g)
+
+let check_invariants g =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if Array.length g.adj_off <> g.n + 1 then fail "adj_off length";
+  if g.adj_off.(0) <> 0 then fail "adj_off.(0) <> 0";
+  if g.adj_off.(g.n) <> 2 * m g then fail "adj_off.(n) <> 2m";
+  for v = 0 to g.n - 1 do
+    if g.adj_off.(v) > g.adj_off.(v + 1) then fail "adj_off not monotone at %d" v;
+    for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+      let w = g.adj_vtx.(i) in
+      if w = v then fail "self-loop at %d" v;
+      if i > g.adj_off.(v) && g.adj_vtx.(i - 1) >= w then
+        fail "row of %d not strictly sorted" v;
+      let u', v' = g.edge_ends.(g.adj_eid.(i)) in
+      if not ((u' = v && v' = w) || (u' = w && v' = v)) then
+        fail "edge id mismatch at incidence (%d,%d)" v w;
+      if find_incidence g w v < 0 then fail "asymmetric edge (%d,%d)" v w
+    done
+  done;
+  Array.iteri
+    (fun e (u, v) ->
+      if u >= v then fail "edge %d not normalized" e;
+      if find_edge g u v <> e then fail "edge %d not found via adjacency" e)
+    g.edge_ends

@@ -1,0 +1,26 @@
+(** Plain-text graph serialization: a simple edge-list format and DOT
+    export, so generated workloads can be saved, reloaded, and visualized
+    by downstream users. *)
+
+(** Format: first non-comment line ["n m"], then [m] lines ["u v"] (or
+    ["u v w"] with weights); ['#'] starts a comment. *)
+
+(** [to_string ?weights g] serializes. *)
+val to_string : ?weights:Weights.t -> Graph.t -> string
+
+(** [of_string s] parses; returns the graph and the weights if every edge
+    line carried one.
+    @raise Failure on malformed input. *)
+val of_string : string -> Graph.t * Weights.t option
+
+(** [save ?weights g ~path] / [load ~path] wrap the string codecs with file
+    IO. *)
+val save : ?weights:Weights.t -> Graph.t -> path:string -> unit
+
+val load : path:string -> Graph.t * Weights.t option
+
+(** [to_dot ?labels ?highlight g] renders GraphViz DOT; [labels] maps a
+    vertex to its cluster (colored), [highlight] marks edges (e.g. a
+    matching) drawn bold. *)
+val to_dot :
+  ?labels:int array -> ?highlight:int list -> Graph.t -> string

@@ -1,0 +1,149 @@
+type mapping = {
+  to_sub : int array;
+  to_orig : int array;
+  edge_to_orig : int array;
+}
+
+let induced_subgraph g vs =
+  let n = Graph.n g in
+  let to_sub = Array.make n (-1) in
+  let uniq = List.sort_uniq compare vs in
+  List.iteri (fun i v -> to_sub.(v) <- i) uniq;
+  let to_orig = Array.of_list uniq in
+  let sub_n = Array.length to_orig in
+  let kept = ref [] in
+  Graph.iter_edges g (fun e u v ->
+      if to_sub.(u) >= 0 && to_sub.(v) >= 0 then
+        kept := (e, to_sub.(u), to_sub.(v)) :: !kept);
+  let kept = List.rev !kept in
+  let sub = Graph.of_edges sub_n (List.map (fun (_, u, v) -> (u, v)) kept) in
+  (* Graph.of_edges sorts lexicographically; rebuild edge_to_orig by lookup. *)
+  let edge_to_orig = Array.make (Graph.m sub) (-1) in
+  List.iter
+    (fun (e, u, v) -> edge_to_orig.(Graph.find_edge sub u v) <- e)
+    kept;
+  (sub, { to_sub; to_orig; edge_to_orig })
+
+let identity_vertex_maps g =
+  let n = Graph.n g in
+  (Array.init n (fun i -> i), Array.init n (fun i -> i))
+
+let subgraph_of_edges g es =
+  let keep = Array.make (Graph.m g) false in
+  List.iter (fun e -> keep.(e) <- true) es;
+  let kept = ref [] in
+  Graph.iter_edges g (fun e u v -> if keep.(e) then kept := (e, u, v) :: !kept);
+  let kept = List.rev !kept in
+  let sub = Graph.of_edges (Graph.n g) (List.map (fun (_, u, v) -> (u, v)) kept) in
+  let edge_to_orig = Array.make (Graph.m sub) (-1) in
+  List.iter (fun (e, u, v) -> edge_to_orig.(Graph.find_edge sub u v) <- e) kept;
+  let to_sub, to_orig = identity_vertex_maps g in
+  (sub, { to_sub; to_orig; edge_to_orig })
+
+let remove_edges g es =
+  let drop = Array.make (Graph.m g) false in
+  List.iter (fun e -> drop.(e) <- true) es;
+  let kept =
+    Graph.fold_edges g (fun acc e _ _ -> if drop.(e) then acc else e :: acc) []
+  in
+  subgraph_of_edges g (List.rev kept)
+
+let remove_vertices g vs =
+  let gone = Array.make (Graph.n g) false in
+  List.iter (fun v -> gone.(v) <- true) vs;
+  let survivors = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not gone.(v) then survivors := v :: !survivors
+  done;
+  induced_subgraph g !survivors
+
+let disjoint_union a b =
+  let na = Graph.n a in
+  let edges =
+    Graph.fold_edges a (fun acc _ u v -> (u, v) :: acc) []
+    |> Graph.fold_edges b (fun acc _ u v -> (u + na, v + na) :: acc)
+  in
+  Graph.of_edges (na + Graph.n b) edges
+
+let contract g labels k =
+  let edges =
+    Graph.fold_edges g
+      (fun acc _ u v ->
+        let lu = labels.(u) and lv = labels.(v) in
+        if lu = lv then acc else (lu, lv) :: acc)
+      []
+  in
+  Graph.of_edges k edges
+
+let contract_edges g es =
+  let uf = Union_find.create (Graph.n g) in
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      ignore (Union_find.union uf u v))
+    es;
+  let labels = Array.make (Graph.n g) (-1) in
+  let next = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let r = Union_find.find uf v in
+    if labels.(r) < 0 then begin
+      labels.(r) <- !next;
+      incr next
+    end;
+    labels.(v) <- labels.(r)
+  done;
+  (contract g labels !next, labels)
+
+let subdivide g e k =
+  let u, v = Graph.endpoints g e in
+  let n = Graph.n g in
+  let others =
+    Graph.fold_edges g
+      (fun acc e' a b -> if e' = e then acc else (a, b) :: acc)
+      []
+  in
+  let path =
+    if k = 0 then [ (u, v) ]
+    else begin
+      let mid = List.init (k - 1) (fun i -> (n + i, n + i + 1)) in
+      ((u, n) :: mid) @ [ (n + k - 1, v) ]
+    end
+  in
+  Graph.of_edges (n + k) (path @ others)
+
+let add_edges g extra =
+  let edges = Graph.fold_edges g (fun acc _ u v -> (u, v) :: acc) extra in
+  Graph.of_edges (Graph.n g) edges
+
+let relabel g perm =
+  let edges =
+    Graph.fold_edges g (fun acc _ u v -> (perm.(u), perm.(v)) :: acc) []
+  in
+  Graph.of_edges (Graph.n g) edges
+
+let complement g =
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let cluster_partition g labels k =
+  let members = Array.make k [] in
+  for v = Graph.n g - 1 downto 0 do
+    members.(labels.(v)) <- v :: members.(labels.(v))
+  done;
+  let inter = ref [] in
+  Graph.iter_edges g (fun e u v ->
+      if labels.(u) <> labels.(v) then inter := e :: !inter);
+  let clusters =
+    Array.map
+      (fun vs ->
+        let sub, map = induced_subgraph g vs in
+        (vs, sub, map))
+      members
+  in
+  (clusters, List.rev !inter)

@@ -1,0 +1,209 @@
+let bfs_multi g sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbors g v (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let bfs g src = bfs_multi g [ src ]
+
+let bfs_tree g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  parent.(src) <- src;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbors g v (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          parent.(w) <- v;
+          Queue.add w queue
+        end)
+  done;
+  (dist, parent)
+
+let bfs_layers g src =
+  let dist = bfs g src in
+  let radius = Array.fold_left max 0 dist in
+  let layers = Array.make (radius + 1) [] in
+  for v = Graph.n g - 1 downto 0 do
+    if dist.(v) >= 0 then layers.(dist.(v)) <- v :: layers.(dist.(v))
+  done;
+  layers
+
+let components g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if label.(v) < 0 then begin
+      let c = !count in
+      incr count;
+      let queue = Queue.create () in
+      label.(v) <- c;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u (fun w ->
+            if label.(w) < 0 then begin
+              label.(w) <- c;
+              Queue.add w queue
+            end)
+      done
+    end
+  done;
+  (label, !count)
+
+let component_list g =
+  let label, count = components g in
+  let buckets = Array.make count [] in
+  for v = Graph.n g - 1 downto 0 do
+    buckets.(label.(v)) <- v :: buckets.(label.(v))
+  done;
+  Array.to_list buckets
+
+let is_connected g =
+  let _, count = components g in
+  count <= 1
+
+let eccentricity g v =
+  Array.fold_left max 0 (bfs g v)
+
+let diameter g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let e = eccentricity g v in
+    if e > !best then best := e
+  done;
+  !best
+
+let argmax_dist dist =
+  let best = ref 0 in
+  Array.iteri (fun v d -> if d > dist.(!best) then best := v) dist;
+  !best
+
+let diameter_double_sweep g =
+  if Graph.n g = 0 then 0
+  else begin
+    let d0 = bfs g 0 in
+    let far = argmax_dist d0 in
+    eccentricity g far
+  end
+
+module Heap = struct
+  (* binary min-heap of (key, vertex) pairs *)
+  type t = {
+    mutable data : (int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 16 (0, 0); len = 0 }
+  let is_empty h = h.len = 0
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h key v =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- (key, v);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let dijkstra g weight src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let heap = Heap.create () in
+  dist.(src) <- 0;
+  Heap.push heap 0 src;
+  while not (Heap.is_empty heap) do
+    let d, v = Heap.pop heap in
+    if d = dist.(v) then
+      Graph.iter_incident g v (fun w e ->
+          let we = weight e in
+          if we < 0 then invalid_arg "Traversal.dijkstra: negative weight";
+          let nd = d + we in
+          if nd < dist.(w) then begin
+            dist.(w) <- nd;
+            Heap.push heap nd w
+          end)
+  done;
+  dist
+
+let dfs_order g src =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let stack = ref [ src ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          order := v :: !order;
+          (* push neighbors in reverse so smaller ids are visited first *)
+          let nbrs = Graph.fold_neighbors g v (fun acc w -> w :: acc) [] in
+          List.iter (fun w -> if not seen.(w) then stack := w :: !stack) nbrs
+        end
+  done;
+  List.rev !order
+
+let is_acyclic g =
+  let _, count = components g in
+  Graph.m g = Graph.n g - count
+
+let spanning_forest g =
+  let uf = Union_find.create (Graph.n g) in
+  Graph.fold_edges g
+    (fun acc e u v -> if Union_find.union uf u v then e :: acc else acc)
+    []
+  |> List.rev

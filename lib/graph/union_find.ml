@@ -1,0 +1,47 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable count : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let size uf = Array.length uf.parent
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx = ry then false
+  else begin
+    let rx, ry =
+      if uf.rank.(rx) < uf.rank.(ry) then ry, rx else rx, ry
+    in
+    uf.parent.(ry) <- rx;
+    if uf.rank.(rx) = uf.rank.(ry) then uf.rank.(rx) <- uf.rank.(rx) + 1;
+    uf.count <- uf.count - 1;
+    true
+  end
+
+let same uf x y = find uf x = find uf y
+
+let count uf = uf.count
+
+let groups uf =
+  let n = size uf in
+  let tbl = Hashtbl.create 16 in
+  for x = n - 1 downto 0 do
+    let r = find uf x in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (x :: cur)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort compare

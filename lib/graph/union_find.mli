@@ -1,0 +1,27 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+(** [create n] makes a union-find structure over elements [0 .. n-1],
+    each initially in its own singleton set. *)
+val create : int -> t
+
+(** Number of elements the structure was created with. *)
+val size : t -> int
+
+(** [find uf x] returns the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union uf x y] merges the sets of [x] and [y]; returns [true] iff the
+    two were previously in different sets. *)
+val union : t -> int -> int -> bool
+
+(** [same uf x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** Number of distinct sets currently present. *)
+val count : t -> int
+
+(** [groups uf] lists the current sets, each as a list of its members.
+    Members appear in increasing order within each group. *)
+val groups : t -> int list list

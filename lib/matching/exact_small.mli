@@ -1,0 +1,20 @@
+(** Exact maximum weight matching by subset dynamic programming.
+
+    The LOCAL/CONGEST model allows unbounded local computation at the
+    cluster leader (Section 1.2); this solver is that idealized leader
+    computation, practical up to ~22 vertices (O(2^n * n) time, O(2^n)
+    space). Used as ground truth in tests and for small clusters. *)
+
+(** [max_weight_matching g w] is the maximum total weight of a matching.
+    @raise Invalid_argument if [Graph.n g > 22]. *)
+val max_weight_matching :
+  Sparse_graph.Graph.t -> Sparse_graph.Weights.t -> int
+
+(** [max_weight_matching_edges g w] also reconstructs an optimal matching
+    (edge ids). Same size limit. *)
+val max_weight_matching_edges :
+  Sparse_graph.Graph.t -> Sparse_graph.Weights.t -> int * int list
+
+(** [max_cardinality g] is the maximum matching size via the same DP with
+    unit weights (cross-check for {!Blossom}). Same size limit. *)
+val max_cardinality : Sparse_graph.Graph.t -> int

@@ -1,0 +1,31 @@
+(** The planar-MCM preprocessing of Section 3.2 (from [27]): eliminate
+    2-stars and 3-double-stars so that the surviving graph's maximum
+    matching has size Omega(n) (Lemma 3.1).
+
+    2-star elimination: every vertex keeps at most one pendant (degree-1)
+    neighbor; the other pendants are removed (tokens bounced back). 3-double-
+    star elimination: for every pair (x, y), at most two common degree-2
+    spoke neighbors survive. Both eliminations preserve the maximum matching
+    size: a center can match at most one of its pendants, and a hub pair can
+    match at most two of its spokes. *)
+
+type result = {
+  graph : Sparse_graph.Graph.t;          (** the reduced graph G-bar *)
+  mapping : Sparse_graph.Graph_ops.mapping; (** to/from the original graph *)
+  removed : int list;                    (** removed original vertices *)
+}
+
+(** One round of both eliminations (the paper applies them once). *)
+val eliminate : Sparse_graph.Graph.t -> result
+
+(** Iterate {!eliminate} until neither pattern remains (removals can expose
+    new pendants, so one round is not always enough for Lemma 3.1's
+    hypothesis); mappings are composed back to the original graph. *)
+val eliminate_fixpoint : Sparse_graph.Graph.t -> result
+
+(** [has_2_star g] detects a vertex with two pendant neighbors. *)
+val has_2_star : Sparse_graph.Graph.t -> bool
+
+(** [has_3_double_star g] detects a pair with three common degree-2
+    neighbors. *)
+val has_3_double_star : Sparse_graph.Graph.t -> bool

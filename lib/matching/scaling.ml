@@ -1,0 +1,89 @@
+open Sparse_graph
+
+type params = {
+  delta : float;
+  search_len : int;
+  passes : int;
+}
+
+let default_params = { delta = 0.2; search_len = 3; passes = 4 }
+
+let of_epsilon eps =
+  let eps = max 0.01 (min 0.9 eps) in
+  {
+    delta = eps /. 2.;
+    search_len = max 3 (int_of_float (ceil (1. /. eps)));
+    passes = max 4 (int_of_float (ceil (2. /. eps)));
+  }
+
+let scales ?(params = default_params) w =
+  let max_w = Weights.max_weight w in
+  if max_w = 0 then []
+  else begin
+    let base = 1. +. params.delta in
+    let rec build t acc =
+      if t < 1 then List.rev (1 :: acc)
+      else build (int_of_float (floor (float_of_int t /. base))) (t :: acc)
+    in
+    (* thresholds from max weight downward; dedup adjacent *)
+    let raw = build max_w [] in
+    let rec dedup = function
+      | a :: b :: rest when a = b -> dedup (b :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    dedup raw
+  end
+
+let run ?(params = default_params) g w =
+  let n = Graph.n g in
+  let mate = Array.make n (-1) in
+  let thresholds = scales ~params w in
+  List.iter
+    (fun threshold ->
+      (* eligible edges at this scale: weight at least the threshold *)
+      let eligible =
+        Graph.fold_edges g
+          (fun acc e _ _ -> if Weights.get w e >= threshold then e :: acc else acc)
+          []
+      in
+      let sub, mapping = Graph_ops.subgraph_of_edges g (List.rev eligible) in
+      let sub_w = Weights.restrict w mapping in
+      (* improve the global matching inside the scale subgraph: seed with
+         the current mates restricted to eligible edges *)
+      let seed = Array.make n (-1) in
+      Array.iteri
+        (fun v m -> if m >= 0 && Graph.mem_edge sub v m then seed.(v) <- m)
+        mate;
+      let improved =
+        Approx.local_search sub sub_w ~init:seed ~len:params.search_len
+          ~passes:params.passes ()
+      in
+      (* merge: adopt improved pairs whose both endpoints are not matched
+         outside the scale subgraph *)
+      Array.iteri
+        (fun v m ->
+          if m > v then begin
+            let free u = mate.(u) = -1 || Graph.mem_edge sub u mate.(u) in
+            if free v && free m then begin
+              (* release old partners inside the subgraph *)
+              let release u =
+                if mate.(u) >= 0 then begin
+                  mate.(mate.(u)) <- -1;
+                  mate.(u) <- -1
+                end
+              in
+              release v;
+              release m;
+              mate.(v) <- m;
+              mate.(m) <- v
+            end
+          end)
+        improved)
+    thresholds;
+  (* final global cleanup pass at full length *)
+  let final =
+    Approx.local_search g w ~init:mate ~len:params.search_len
+      ~passes:params.passes ()
+  in
+  final

@@ -1,0 +1,33 @@
+(** Weight-scaling (1 - epsilon)-MWM in the shape of Duan–Pettie [34], the
+    sequential skeleton into which the paper embeds its expander framework
+    (Section 1.3, "Weighted Matching").
+
+    Weights are bucketed into scales [(1+delta)^j]; the algorithm walks the
+    scales from heaviest to lightest, at each scale restricting attention to
+    the eligible ("tight") edges — edges whose scaled weight is maximal
+    among those touching still-unmatched vertices — and extending the
+    matching by bounded-length augmentations there. The centralized version
+    here is the reference implementation; the distributed pipeline
+    (lib/core) replaces the per-scale solve with a per-cluster local solve
+    after an expander decomposition. *)
+
+type params = {
+  delta : float;      (** scale base is 1 + delta; smaller = finer scales *)
+  search_len : int;   (** augmentation length per scale *)
+  passes : int;       (** local-search passes per scale *)
+}
+
+(** delta = 0.2, search_len = 3, passes = 4. *)
+val default_params : params
+
+(** [of_epsilon eps] picks parameters targeting a (1 - eps) ratio. *)
+val of_epsilon : float -> params
+
+(** [run ?params g w] returns the computed mate array. *)
+val run :
+  ?params:params -> Sparse_graph.Graph.t -> Sparse_graph.Weights.t ->
+  int array
+
+(** [scales ?params w] lists the scale thresholds the run uses, heaviest
+    first (exposed for the per-scale distributed pipeline and for tests). *)
+val scales : ?params:params -> Sparse_graph.Weights.t -> int list

@@ -1,0 +1,110 @@
+open Sparse_graph
+
+(* Iterative DFS computing disc/low values, an edge stack for blocks, and
+   articulation points. *)
+
+type frame = {
+  vertex : int;
+  parent_edge : int;  (* edge id used to reach vertex, -1 at roots *)
+  mutable cursor : int;  (* next incidence index to explore *)
+  mutable children : int;
+  mutable low : int;
+}
+
+let run g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let time = ref 0 in
+  let edge_stack = ref [] in
+  let blocks = ref [] in
+  let is_cut = Array.make n false in
+  (* incidence arrays for cursor-based iteration *)
+  let inc =
+    Array.init n (fun v ->
+        let acc = ref [] in
+        Graph.iter_incident g v (fun w e -> acc := (w, e) :: !acc);
+        Array.of_list (List.rev !acc))
+  in
+  let pop_block until_edge =
+    let rec go acc =
+      match !edge_stack with
+      | [] -> acc
+      | e :: rest ->
+          edge_stack := rest;
+          if e = until_edge then e :: acc else go (e :: acc)
+    in
+    let b = go [] in
+    if b <> [] then blocks := b :: !blocks
+  in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      disc.(root) <- !time;
+      incr time;
+      let stack =
+        ref
+          [ { vertex = root; parent_edge = -1; cursor = 0; children = 0;
+              low = disc.(root) } ]
+      in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | frame :: rest ->
+            let v = frame.vertex in
+            if frame.cursor < Array.length inc.(v) then begin
+              let w, e = inc.(v).(frame.cursor) in
+              frame.cursor <- frame.cursor + 1;
+              if e <> frame.parent_edge then begin
+                if disc.(w) < 0 then begin
+                  (* tree edge *)
+                  edge_stack := e :: !edge_stack;
+                  disc.(w) <- !time;
+                  incr time;
+                  frame.children <- frame.children + 1;
+                  stack :=
+                    { vertex = w; parent_edge = e; cursor = 0; children = 0;
+                      low = disc.(w) }
+                    :: !stack
+                end
+                else if disc.(w) < disc.(v) then begin
+                  (* back edge to an ancestor *)
+                  edge_stack := e :: !edge_stack;
+                  if disc.(w) < frame.low then frame.low <- disc.(w)
+                end
+              end
+            end
+            else begin
+              (* finished v: propagate low to parent, close blocks *)
+              stack := rest;
+              match rest with
+              | [] -> ()
+              | parent :: _ ->
+                  let u = parent.vertex in
+                  if frame.low < parent.low then parent.low <- frame.low;
+                  if frame.low >= disc.(u) then begin
+                    (* u separates the finished subtree: close its block *)
+                    pop_block frame.parent_edge;
+                    let u_is_root = parent.parent_edge < 0 in
+                    if (not u_is_root) || parent.children > 1 then
+                      is_cut.(u) <- true
+                  end
+            end
+      done
+    end
+  done;
+  (!blocks, is_cut)
+
+let blocks g = fst (run g)
+
+let cut_vertices g =
+  let _, is_cut = run g in
+  let out = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if is_cut.(v) then out := v :: !out
+  done;
+  !out
+
+let is_biconnected g =
+  Graph.n g >= 2 && Graph.m g >= 1
+  && Traversal.is_connected g
+  && cut_vertices g = []

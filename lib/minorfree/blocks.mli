@@ -1,0 +1,16 @@
+(** Biconnected components (blocks) via an iterative Hopcroft–Tarjan DFS.
+
+    A block is a maximal subgraph without a cut vertex; bridges form
+    two-vertex blocks. Planarity decomposes over blocks, which is how
+    {!Planarity} uses this module. *)
+
+(** [blocks g] returns the blocks, each as a list of edge ids. Every edge
+    appears in exactly one block. *)
+val blocks : Sparse_graph.Graph.t -> int list list
+
+(** [cut_vertices g] lists the articulation points. *)
+val cut_vertices : Sparse_graph.Graph.t -> int list
+
+(** [is_biconnected g] holds when [g] is connected, has at least one edge,
+    and has no cut vertex. *)
+val is_biconnected : Sparse_graph.Graph.t -> bool

@@ -1,0 +1,30 @@
+(** Exact minor containment for small pattern graphs.
+
+    [H <= G] ("H is a minor of G", Section 1.2) is decided by the recursion:
+    H <= G iff H is isomorphic to a subgraph of G, or H <= G/e for some edge
+    e — any minor model either contracts nothing (then it is a subgraph
+    after deletions) or its contractions can be performed first. Exponential
+    in general: intended for small graphs (tests and cluster-local checks),
+    with fast structural shortcuts for cliques of size up to 4. *)
+
+(** [subgraph_isomorphic h g] decides whether [g] has a (not necessarily
+    induced) subgraph isomorphic to [h], by backtracking with degree
+    pruning. *)
+val subgraph_isomorphic :
+  Sparse_graph.Graph.t -> Sparse_graph.Graph.t -> bool
+
+(** [has_minor h g] decides [h <= g].
+    @raise Invalid_argument if [Graph.n g > 64] (search would explode). *)
+val has_minor : Sparse_graph.Graph.t -> Sparse_graph.Graph.t -> bool
+
+(** [has_clique_minor g t] decides [K_t <= g]. Uses structural facts for
+    [t <= 4] (K3: not a forest; K4: not series-parallel), and for [t = 5]
+    on planar inputs answers [false] immediately; otherwise falls back on
+    the generic search (same size limit as {!has_minor}). *)
+val has_clique_minor : Sparse_graph.Graph.t -> int -> bool
+
+(** [is_series_parallel g] tests treewidth at most 2 by the degree-(<= 2)
+    reduction: repeatedly delete isolated and pendant vertices and suppress
+    degree-2 vertices (joining their neighbors); the graph has treewidth
+    at most 2 iff this empties it. Linear-ish; no size limit. *)
+val is_series_parallel : Sparse_graph.Graph.t -> bool

@@ -1,0 +1,28 @@
+(** Minimum dominating set solvers.
+
+    MDS on planar networks is the flagship problem of the LOCAL-model line
+    of work the paper builds on (Section 1.4: Czygrinow et al., Amiri et
+    al., Lenzen et al.); the framework's application layer exposes it as a
+    measured extension (no (1 + epsilon) guarantee is claimed — unlike
+    matching, OPT can be o(n) on planar graphs, so the paper's budget
+    argument does not transfer directly). *)
+
+(** [exact g] returns a minimum dominating set (sorted), by branch and
+    bound: repeatedly pick an undominated vertex and branch on which closed
+    neighbor dominates it, pruning with the coverage bound
+    [|undominated| / (Delta + 1)].
+    @raise Invalid_argument if [Graph.n g > 150]. *)
+val exact : Sparse_graph.Graph.t -> int list
+
+(** [exact_size g] is the domination number. Same limit. *)
+val exact_size : Sparse_graph.Graph.t -> int
+
+(** [greedy g] is the classic ln(Delta)-approximation: repeatedly take the
+    vertex covering the most undominated vertices. *)
+val greedy : Sparse_graph.Graph.t -> int list
+
+(** [is_dominating g vs] checks every vertex is in [vs] or adjacent to it. *)
+val is_dominating : Sparse_graph.Graph.t -> int list -> bool
+
+(** [brute_force g] for cross-checking (n <= 20). *)
+val brute_force : Sparse_graph.Graph.t -> int

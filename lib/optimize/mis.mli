@@ -1,0 +1,46 @@
+(** Maximum independent set solvers: the leader's local computation for
+    Theorem 1.2 (exact branch-and-bound) and the paper's Omega(n) lower
+    bound witness (min-degree greedy, Section 3.1).
+
+    The exact solver uses the standard reductions — take isolated and
+    pendant vertices, fold degree-2 vertices — and branches on a
+    maximum-degree vertex, pruning with the matching bound
+    [alpha(G) <= n - mu(G)]. Exponential worst case but fast on the sparse
+    (H-minor-free) clusters the framework produces. *)
+
+(** [exact g] returns a maximum independent set (sorted).
+    @raise Invalid_argument if [Graph.n g > 400] (guard against blowup). *)
+val exact : Sparse_graph.Graph.t -> int list
+
+(** [exact_size g] is [alpha(G)]. Same limit. *)
+val exact_size : Sparse_graph.Graph.t -> int
+
+(** [greedy g] repeatedly takes a minimum-degree vertex and deletes its
+    closed neighborhood; guarantees size at least [n / (2d + 1)] on graphs
+    of edge density at most [d] (Section 3.1). *)
+val greedy : Sparse_graph.Graph.t -> int list
+
+(** [is_independent g vs] checks pairwise non-adjacency. *)
+val is_independent : Sparse_graph.Graph.t -> int list -> bool
+
+(** [brute_force g] enumerates all subsets (for cross-checking; n <= 20). *)
+val brute_force : Sparse_graph.Graph.t -> int
+
+(** {1 Weighted variant}
+
+    Weighted MAXIS is the extension discussed in the paper's Section 1.1
+    (cf. Bar-Yehuda et al. and Kawarabayashi et al.); the framework solves
+    it per cluster exactly like the unweighted case. *)
+
+(** [exact_weighted g w] returns a maximum-weight independent set
+    ([w.(v) > 0] for every vertex). Branch-and-bound with isolated-vertex
+    and weighted-pendant-folding reductions.
+    @raise Invalid_argument if [Graph.n g > 200] or some weight is not
+    positive. *)
+val exact_weighted : Sparse_graph.Graph.t -> int array -> int list
+
+(** Total weight of a vertex set. *)
+val weight_of : int array -> int list -> int
+
+(** [brute_force_weighted g w] for cross-checking (n <= 20). *)
+val brute_force_weighted : Sparse_graph.Graph.t -> int array -> int

@@ -1,0 +1,29 @@
+open Sparse_graph
+
+let exact g =
+  let independent = Mis.exact g in
+  let in_is = Array.make (Graph.n g) false in
+  List.iter (fun v -> in_is.(v) <- true) independent;
+  let cover = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not in_is.(v) then cover := v :: !cover
+  done;
+  !cover
+
+let exact_size g = Graph.n g - Mis.exact_size g
+
+let two_approx g =
+  let matched = Array.make (Graph.n g) false in
+  let cover = ref [] in
+  Graph.iter_edges g (fun _ u v ->
+      if (not matched.(u)) && not matched.(v) then begin
+        matched.(u) <- true;
+        matched.(v) <- true;
+        cover := v :: u :: !cover
+      end);
+  List.sort compare !cover
+
+let is_cover g vs =
+  let chosen = Array.make (Graph.n g) false in
+  List.iter (fun v -> chosen.(v) <- true) vs;
+  Graph.fold_edges g (fun acc _ u v -> acc && (chosen.(u) || chosen.(v))) true

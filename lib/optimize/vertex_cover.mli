@@ -1,0 +1,16 @@
+(** Minimum vertex cover, by complementation of maximum independent sets
+    (Gallai: VC = V minus a maximum independent set) plus the classic
+    matching-based 2-approximation baseline. *)
+
+(** [exact g] returns a minimum vertex cover (sorted). Size limits as
+    {!Mis.exact}. *)
+val exact : Sparse_graph.Graph.t -> int list
+
+(** Same as [List.length (exact g)]. *)
+val exact_size : Sparse_graph.Graph.t -> int
+
+(** [two_approx g] takes both endpoints of a greedily maximal matching. *)
+val two_approx : Sparse_graph.Graph.t -> int list
+
+(** Every edge has an endpoint in the set. *)
+val is_cover : Sparse_graph.Graph.t -> int list -> bool

@@ -1,0 +1,159 @@
+open Sparse_graph
+
+type t = {
+  labels : int array;
+  k : int;
+  inter_edges : int list;
+  epsilon : float;
+  phi : float;
+  tau : float;
+}
+
+type params = {
+  power_iters : int;
+  exact_limit : int;
+  seed : int;
+}
+
+let default_params = { power_iters = 120; exact_limit = 14; seed = 0 }
+
+(* Split one cluster (given as an induced subgraph) if its best sweep cut is
+   below tau; returns the two sides in original-vertex ids, or None if the
+   cluster is accepted as a phi-expander. *)
+let try_split params sub (mapping : Graph_ops.mapping) tau depth =
+  let n = Graph.n sub in
+  if n < 2 then None
+  else if Graph.m sub = 0 then begin
+    (* split isolated vertices off one at a time *)
+    Some ([ mapping.to_orig.(0) ],
+          List.init (n - 1) (fun i -> mapping.to_orig.(i + 1)))
+  end
+  else begin
+    let split_along side =
+      let left = ref [] and right = ref [] in
+      for v = n - 1 downto 0 do
+        if side.(v) then left := mapping.to_orig.(v) :: !left
+        else right := mapping.to_orig.(v) :: !right
+      done;
+      Some (!left, !right)
+    in
+    if n <= params.exact_limit then begin
+      let phi_exact, side = Conductance.exact_cut sub in
+      if phi_exact >= tau then None else split_along side
+    end
+    else begin
+      let cut =
+        Sweep_cut.combined_cut sub ~iters:params.power_iters
+          ~seed:(params.seed + (31 * depth) + n)
+      in
+      if cut.conductance >= tau then None else split_along cut.side
+    end
+  end
+
+let decompose ?(params = default_params) g ~epsilon =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Expander_decomposition.decompose: need 0 < epsilon < 1";
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let tau =
+    if m = 0 then epsilon
+    else epsilon /. (2. *. (log (float_of_int (2 * m)) /. log 2.))
+  in
+  let labels = Array.make n (-1) in
+  let next_label = ref 0 in
+  let accept vs =
+    let l = !next_label in
+    incr next_label;
+    List.iter (fun v -> labels.(v) <- l) vs
+  in
+  (* process connected pieces independently; recursion by explicit stack *)
+  let stack = ref (Traversal.component_list g) in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | vs :: rest ->
+        stack := rest;
+        (match vs with
+        | [] -> ()
+        | [ v ] -> accept [ v ]
+        | _ ->
+            let sub, mapping = Graph_ops.induced_subgraph g vs in
+            (* a cut may disconnect the subgraph; re-split by components *)
+            let comps = Traversal.component_list sub in
+            (match comps with
+            | [] -> ()
+            | [ _ ] -> (
+                match try_split params sub mapping tau !next_label with
+                | None -> accept vs
+                | Some (left, right) -> stack := left :: right :: !stack)
+            | many ->
+                let lift comp = List.map (fun v -> mapping.to_orig.(v)) comp in
+                stack := List.map lift many @ !stack));
+        drain ()
+  in
+  drain ();
+  let inter_edges =
+    Graph.fold_edges g
+      (fun acc e u v -> if labels.(u) <> labels.(v) then e :: acc else acc)
+      []
+    |> List.rev
+  in
+  {
+    labels;
+    k = !next_label;
+    inter_edges;
+    epsilon;
+    phi = tau *. tau /. 4.;
+    tau;
+  }
+
+let inter_fraction g t =
+  let m = Graph.m g in
+  if m = 0 then 0.
+  else float_of_int (List.length t.inter_edges) /. float_of_int m
+
+let clusters g t = fst (Graph_ops.cluster_partition g t.labels t.k)
+
+let verify ?(params = default_params) g t =
+  let m = Graph.m g in
+  let inter_ok =
+    float_of_int (List.length t.inter_edges) <= (t.epsilon *. float_of_int m) +. 1e-9
+  in
+  let worst = ref infinity in
+  Array.iter
+    (fun (_, sub, _) ->
+      if Graph.n sub >= 2 && Graph.m sub > 0 then begin
+        let phi =
+          if Graph.n sub <= params.exact_limit then Conductance.exact sub
+          else
+            (Sweep_cut.combined_cut sub ~iters:params.power_iters
+               ~seed:params.seed)
+              .conductance
+        in
+        if phi < !worst then worst := phi
+      end)
+    (clusters g t);
+  (inter_ok, !worst)
+
+let bfs_ball_baseline g ~radius =
+  let n = Graph.n g in
+  let labels = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if labels.(v) < 0 then begin
+      let l = !next in
+      incr next;
+      let dist = Traversal.bfs g v in
+      for u = 0 to n - 1 do
+        if labels.(u) < 0 && dist.(u) >= 0 && dist.(u) <= radius then
+          labels.(u) <- l
+      done
+    end
+  done;
+  let inter_edges =
+    Graph.fold_edges g
+      (fun acc e u v -> if labels.(u) <> labels.(v) then e :: acc else acc)
+      []
+    |> List.rev
+  in
+  { labels; k = !next; inter_edges; epsilon = 1.; phi = 0.; tau = 0. }

@@ -1,0 +1,62 @@
+(** (epsilon, phi) expander decomposition (Theorems 2.1 / 2.2 interface).
+
+    The decomposition partitions the vertex set so that at most an
+    [epsilon] fraction of edges cross between clusters and every cluster's
+    induced subgraph has conductance at least [phi], with
+    [phi = epsilon^O(1) / log^O(1) n] as in Theorem 2.1.
+
+    Implementation (see DESIGN.md, substitution 1): recursive spectral
+    bipartitioning. A cluster is split along its best Fiedler sweep cut
+    whenever that cut's conductance falls below a threshold
+    [tau = epsilon / (2 log2(2m))]; a standard charging argument (each edge
+    is cut at most once, each split removes at most [tau * min-side-volume]
+    edges, and the recursion halves the volume) bounds the inter-cluster
+    edges by [epsilon * m]. Accepted clusters certify conductance
+    [phi >= tau^2 / 4] by Cheeger's inequality (exactly verified for small
+    clusters). *)
+
+type t = {
+  labels : int array;        (** vertex -> cluster id in [0 .. k-1] *)
+  k : int;                   (** number of clusters *)
+  inter_edges : int list;    (** ids of inter-cluster edges, [E^r] *)
+  epsilon : float;           (** requested epsilon *)
+  phi : float;               (** certified conductance target [tau^2 / 4] *)
+  tau : float;               (** sweep-cut acceptance threshold *)
+}
+
+(** Parameters for the recursive splitter. *)
+type params = {
+  power_iters : int;     (** power-iteration steps per split (default 120) *)
+  exact_limit : int;     (** clusters up to this size are certified by
+                             exhaustive conductance (default 14) *)
+  seed : int;
+}
+
+val default_params : params
+
+(** [decompose ?params g ~epsilon] computes the decomposition.
+    @raise Invalid_argument unless [0 < epsilon < 1]. *)
+val decompose : ?params:params -> Sparse_graph.Graph.t -> epsilon:float -> t
+
+(** Fraction of edges that are inter-cluster, [|E^r| / m] (0 when m = 0). *)
+val inter_fraction : Sparse_graph.Graph.t -> t -> float
+
+(** [clusters g t] materializes each cluster: vertex list, induced
+    subgraph, and vertex/edge mappings. *)
+val clusters :
+  Sparse_graph.Graph.t -> t ->
+  (int list * Sparse_graph.Graph.t * Sparse_graph.Graph_ops.mapping) array
+
+(** [verify g t] checks the two decomposition requirements and returns
+    [(inter_ok, min_cluster_conductance_lb)]:
+    [inter_ok] is [|E^r| <= epsilon * m]; the float is the smallest
+    per-cluster conductance bound (exact value for clusters up to
+    [exact_limit], sweep-cut upper bound for larger clusters — an upper
+    bound can only under-certify, never over-certify). *)
+val verify :
+  ?params:params -> Sparse_graph.Graph.t -> t -> bool * float
+
+(** Naive baseline for ablation: BFS balls of fixed radius, no conductance
+    control. Same result shape, with [phi = 0.]. *)
+val bfs_ball_baseline :
+  Sparse_graph.Graph.t -> radius:int -> t

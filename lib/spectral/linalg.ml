@@ -1,0 +1,24 @@
+let dot x y =
+  let s = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm x = sqrt (dot x x)
+
+let axpy a x y =
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let normalize x =
+  let nrm = norm x in
+  if nrm > 0. then scale (1. /. nrm) x
+
+let orthogonalize_against b x = axpy (-.dot b x) b x

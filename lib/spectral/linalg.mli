@@ -1,0 +1,18 @@
+(** Small dense-vector kernels used by the spectral routines. *)
+
+val dot : float array -> float array -> float
+val norm : float array -> float
+
+(** [axpy a x y] updates [y := y + a * x] in place. *)
+val axpy : float -> float array -> float array -> unit
+
+(** [scale a x] updates [x := a * x] in place. *)
+val scale : float -> float array -> unit
+
+(** [normalize x] scales [x] to unit Euclidean norm in place; a zero vector
+    is left unchanged. *)
+val normalize : float array -> unit
+
+(** [orthogonalize_against b x] removes from [x] its component along [b]
+    (assumed unit norm), in place. *)
+val orthogonalize_against : float array -> float array -> unit

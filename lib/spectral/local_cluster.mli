@@ -1,0 +1,31 @@
+(** Local clustering by approximate personalized PageRank (the
+    Andersen–Chung–Lang refinement of Spielman–Teng's Nibble).
+
+    Expander decompositions descend from local clustering: given a seed
+    vertex inside a low-conductance piece, an approximate PPR vector
+    concentrates on that piece, and a sweep over it exposes the cut —
+    without ever touching the rest of the graph. This is the sequential
+    engine behind the decomposition algorithms the paper cites ([84],
+    [19, 20]); exposed here both as a substrate and for the test suite's
+    cross-checks against the global sweep. *)
+
+(** [ppr g ~seed_vertex ~alpha ~eps] computes an eps-approximate PageRank
+    vector with restart probability [alpha] by the push algorithm; the
+    residual never exceeds [eps * deg(v)] at any vertex. Sparse output:
+    [(vertex, mass)] pairs.
+    @raise Invalid_argument unless [0 < alpha < 1] and [eps > 0]. *)
+val ppr :
+  Sparse_graph.Graph.t -> seed_vertex:int -> alpha:float -> eps:float ->
+  (int * float) list
+
+(** [sweep_cut g ppr_vector] sweeps vertices by [mass / degree] and returns
+    the best prefix cut among the PPR support, as a {!Sweep_cut.cut}.
+    @raise Invalid_argument if the support is empty or covers everything. *)
+val sweep_cut :
+  Sparse_graph.Graph.t -> (int * float) list -> Sweep_cut.cut
+
+(** [find g ~seed_vertex ~target_volume] picks push parameters from the
+    target volume and returns the best local cut found. *)
+val find :
+  Sparse_graph.Graph.t -> seed_vertex:int -> target_volume:int ->
+  Sweep_cut.cut

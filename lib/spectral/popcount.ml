@@ -1,0 +1,14 @@
+let table =
+  lazy
+    (let t = Array.make 65536 0 in
+     for i = 1 to 65535 do
+       t.(i) <- t.(i lsr 1) + (i land 1)
+     done;
+     t)
+
+let popcount x =
+  let t = Lazy.force table in
+  let rec go x acc =
+    if x = 0 then acc else go (x lsr 16) (acc + t.(x land 0xffff))
+  in
+  go x 0

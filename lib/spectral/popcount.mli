@@ -1,0 +1,4 @@
+(** Bit-population count for the exhaustive conductance enumeration. *)
+
+(** Number of set bits in the (non-negative) argument. *)
+val popcount : int -> int

@@ -1,0 +1,74 @@
+open Sparse_graph
+
+let stationary g =
+  let vol = float_of_int (2 * Graph.m g) in
+  if vol = 0. then invalid_arg "Random_walk.stationary: graph has no edges";
+  Array.init (Graph.n g) (fun v -> float_of_int (Graph.degree g v) /. vol)
+
+let step g p =
+  let n = Graph.n g in
+  let q = Array.make n 0. in
+  for u = 0 to n - 1 do
+    let d = Graph.degree g u in
+    if d = 0 then q.(u) <- q.(u) +. p.(u)
+    else begin
+      q.(u) <- q.(u) +. (p.(u) /. 2.);
+      let share = p.(u) /. (2. *. float_of_int d) in
+      Graph.iter_neighbors g u (fun w -> q.(w) <- q.(w) +. share)
+    end
+  done;
+  q
+
+let distribution g v t =
+  let p = ref (Array.init (Graph.n g) (fun u -> if u = v then 1. else 0.)) in
+  for _ = 1 to t do
+    p := step g !p
+  done;
+  !p
+
+let is_mixed g p =
+  let pi = stationary g in
+  let n = float_of_int (Graph.n g) in
+  let ok = ref true in
+  Array.iteri
+    (fun u pu -> if abs_float (pu -. pi.(u)) > pi.(u) /. n then ok := false)
+    p;
+  !ok
+
+let mixing_time_from g v ~max_t =
+  let p = ref (Array.init (Graph.n g) (fun u -> if u = v then 1. else 0.)) in
+  let rec go t =
+    if is_mixed g !p then Some t
+    else if t >= max_t then None
+    else begin
+      p := step g !p;
+      go (t + 1)
+    end
+  in
+  go 0
+
+let mixing_time g ~max_t =
+  let rec go v worst =
+    if v = Graph.n g then Some worst
+    else
+      match mixing_time_from g v ~max_t with
+      | None -> None
+      | Some t -> go (v + 1) (max worst t)
+  in
+  if Graph.n g = 0 then None else go 0 0
+
+let sample_walk g ~start ~steps ~rng =
+  let visits = Array.make (steps + 1) start in
+  let cur = ref start in
+  for i = 1 to steps do
+    let d = Graph.degree g !cur in
+    if d > 0 && Random.State.bool rng then begin
+      let k = Random.State.int rng d in
+      let j = ref 0 in
+      Graph.iter_neighbors g !cur (fun w ->
+          if !j = k then cur := w;
+          incr j)
+    end;
+    visits.(i) <- !cur
+  done;
+  visits

@@ -1,0 +1,217 @@
+open Sparse_graph
+open Congest
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* simple flooding: everyone learns the max id; counts rounds *)
+let flood_max g rounds_budget =
+  let init (ctx : Network.ctx) = ctx.id in
+  let round r (ctx : Network.ctx) best inbox =
+    let best = List.fold_left (fun b (_, x) -> max b x) best inbox in
+    if r > rounds_budget then { Network.state = best; send = []; halt = true }
+    else
+      {
+        Network.state = best;
+        send = Array.to_list (Array.map (fun w -> (w, best)) ctx.neighbors);
+        halt = false;
+      }
+  in
+  Network.run g
+    ~bandwidth:(Network.congest_bandwidth (Graph.n g))
+    ~msg_bits:(fun _ -> Bits.words (Graph.n g) 1)
+    ~init ~round ~max_rounds:(rounds_budget + 1)
+
+let test_flood_path () =
+  let g = Generators.path 6 in
+  let states, stats = flood_max g 5 in
+  Array.iter (fun s -> check "all know max" 5 s) states;
+  checkb "completed" true stats.Network.completed;
+  check "rounds" 6 stats.Network.rounds
+
+let test_flood_insufficient_rounds () =
+  let g = Generators.path 6 in
+  let states, _ = flood_max g 2 in
+  (* vertex 0 is 5 hops from vertex 5: cannot know it after 2 rounds *)
+  checkb "vertex 0 not yet informed" true (states.(0) < 5)
+
+let test_synchronous_delivery () =
+  (* messages sent in round r arrive exactly in round r + 1 *)
+  let g = Generators.path 2 in
+  let log = ref [] in
+  let init (ctx : Network.ctx) = ctx.id in
+  let round r (ctx : Network.ctx) st inbox =
+    List.iter (fun (s, x) -> log := (r, ctx.id, s, x) :: !log) inbox;
+    if r >= 3 then { Network.state = st; send = []; halt = true }
+    else
+      { Network.state = st;
+        send = (if ctx.id = 0 then [ (1, 100 + r) ] else []);
+        halt = false }
+  in
+  let _ =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init ~round ~max_rounds:5
+  in
+  let received = List.rev !log in
+  Alcotest.(check (list (pair int (pair int (pair int int)))))
+    "delivery schedule"
+    [ (2, (1, (0, 101))); (3, (1, (0, 102))) ]
+    (List.map (fun (r, v, s, x) -> (r, (v, (s, x)))) received)
+
+let test_congestion_enforced () =
+  let g = Generators.path 2 in
+  let init _ = () in
+  let round _ (ctx : Network.ctx) () _ =
+    { Network.state = ();
+      send = (if ctx.id = 0 then [ (1, ()) ] else []);
+      halt = false }
+  in
+  let run () =
+    ignore
+      (Network.run g ~bandwidth:(Network.Congest 8)
+         ~msg_bits:(fun () -> 9)
+         ~init ~round ~max_rounds:2)
+  in
+  (match run () with
+  | exception Network.Congestion_violation { bits = 9; budget = 8; _ } -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+  | () -> Alcotest.fail "violation not detected")
+
+let test_congestion_accumulates () =
+  (* two messages of 5 bits on one edge in one round exceed an 8-bit budget *)
+  let g = Generators.path 2 in
+  let init _ = () in
+  let round _ (ctx : Network.ctx) () _ =
+    { Network.state = ();
+      send = (if ctx.id = 0 then [ (1, ()); (1, ()) ] else []);
+      halt = false }
+  in
+  (match
+     Network.run g ~bandwidth:(Network.Congest 8)
+       ~msg_bits:(fun () -> 5)
+       ~init ~round ~max_rounds:2
+   with
+  | exception Network.Congestion_violation { bits = 10; _ } -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+  | _ -> Alcotest.fail "violation not detected")
+
+let test_local_mode_unbounded () =
+  let g = Generators.path 2 in
+  let init _ = () in
+  let round r (ctx : Network.ctx) () _ =
+    if r > 1 then { Network.state = (); send = []; halt = true }
+    else
+      { Network.state = ();
+        send = (if ctx.id = 0 then [ (1, ()) ] else []);
+        halt = false }
+  in
+  let _, stats =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun () -> 1_000_000)
+      ~init ~round ~max_rounds:3
+  in
+  check "big message went through" 1_000_000 stats.Network.max_edge_bits
+
+let test_send_to_non_neighbor_rejected () =
+  let g = Generators.path 3 in
+  let init _ = () in
+  let round _ (ctx : Network.ctx) () _ =
+    { Network.state = ();
+      send = (if ctx.id = 0 then [ (2, ()) ] else []);
+      halt = false }
+  in
+  (match
+     Network.run g ~bandwidth:Network.Local
+       ~msg_bits:(fun () -> 1)
+       ~init ~round ~max_rounds:2
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_halted_vertices_drop_messages () =
+  let g = Generators.path 2 in
+  let got = ref 0 in
+  let init _ = () in
+  let round r (ctx : Network.ctx) () inbox =
+    if ctx.id = 1 then { Network.state = (); send = []; halt = true }
+    else begin
+      got := !got + List.length inbox;
+      if r >= 3 then { Network.state = (); send = []; halt = true }
+      else { Network.state = (); send = [ (1, ()) ]; halt = false }
+    end
+  in
+  let _, stats =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun () -> 1)
+      ~init ~round ~max_rounds:5
+  in
+  check "vertex 0 received nothing" 0 !got;
+  checkb "completed" true stats.Network.completed
+
+let test_stats_accounting () =
+  let g = Generators.cycle 4 in
+  let init _ = () in
+  let round r (ctx : Network.ctx) () _ =
+    if r > 2 then { Network.state = (); send = []; halt = true }
+    else
+      { Network.state = ();
+        send = Array.to_list (Array.map (fun w -> (w, ())) ctx.neighbors);
+        halt = false }
+  in
+  let _, stats =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun () -> 3)
+      ~init ~round ~max_rounds:4
+  in
+  (* 4 vertices x 2 neighbors x 2 rounds *)
+  check "messages" 16 stats.Network.messages;
+  check "bits" 48 stats.Network.total_bits;
+  check "max edge bits" 3 stats.Network.max_edge_bits;
+  check "last traffic" 2 stats.Network.last_traffic_round
+
+let test_bandwidth_helper () =
+  (match Network.congest_bandwidth 1024 with
+  | Network.Congest b -> check "8 * log2 1024" 80 b
+  | Network.Local -> Alcotest.fail "expected Congest");
+  (match Network.congest_bandwidth ~c:1 2 with
+  | Network.Congest b -> check "minimum one word" 1 b
+  | Network.Local -> Alcotest.fail "expected Congest")
+
+let test_bits_helper () =
+  check "id bits of 1024" 10 (Bits.id_bits 1024);
+  check "id bits of 1025" 11 (Bits.id_bits 1025);
+  check "id bits small" 1 (Bits.id_bits 1);
+  check "words" 30 (Bits.words 1024 3)
+
+let test_empty_graph_run () =
+  let _, stats =
+    Network.run (Graph.empty 3) ~bandwidth:Network.Local
+      ~msg_bits:(fun () -> 1)
+      ~init:(fun _ -> ())
+      ~round:(fun _ _ () _ -> { Network.state = (); send = []; halt = true })
+      ~max_rounds:3
+  in
+  checkb "completed" true stats.Network.completed;
+  check "one round" 1 stats.Network.rounds
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "congest"
+    [
+      ( "network",
+        [
+          tc "flooding reaches everyone" test_flood_path;
+          tc "insufficient rounds" test_flood_insufficient_rounds;
+          tc "synchronous delivery schedule" test_synchronous_delivery;
+          tc "congestion enforced" test_congestion_enforced;
+          tc "congestion accumulates per edge" test_congestion_accumulates;
+          tc "LOCAL mode unbounded" test_local_mode_unbounded;
+          tc "non-neighbor send rejected" test_send_to_non_neighbor_rejected;
+          tc "halted vertices drop input" test_halted_vertices_drop_messages;
+          tc "statistics accounting" test_stats_accounting;
+          tc "bandwidth helper" test_bandwidth_helper;
+          tc "bit accounting helper" test_bits_helper;
+          tc "degenerate empty graph" test_empty_graph_run;
+        ] );
+    ]

@@ -1,0 +1,613 @@
+open Sparse_graph
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Graph core                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_edges_basic () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  Graph.check_invariants g;
+  check "n" 4 (Graph.n g);
+  check "m" 4 (Graph.m g);
+  check "deg" 2 (Graph.degree g 1);
+  checkb "mem" true (Graph.mem_edge g 0 3);
+  checkb "not mem" false (Graph.mem_edge g 0 2)
+
+let test_of_edges_dedup () =
+  let g = Graph.of_edges 3 [ (0, 1); (1, 0); (1, 1); (2, 1); (1, 2) ] in
+  Graph.check_invariants g;
+  check "m dedups and drops loops" 2 (Graph.m g)
+
+let test_of_edges_range () =
+  Alcotest.check_raises "out of range" (Invalid_argument
+    "Graph.of_edges: endpoint out of range (0,3), n=3")
+    (fun () -> ignore (Graph.of_edges 3 [ (0, 3) ]))
+
+let test_endpoints_normalized () =
+  let g = Graph.of_edges 3 [ (2, 0); (1, 0) ] in
+  for e = 0 to Graph.m g - 1 do
+    let u, v = Graph.endpoints g e in
+    checkb "normalized" true (u < v)
+  done
+
+let test_find_edge () =
+  let g = Graph.of_edges 5 [ (0, 4); (1, 3); (2, 4) ] in
+  let e = Graph.find_edge g 4 0 in
+  Alcotest.(check (pair int int)) "endpoints" (0, 4) (Graph.endpoints g e);
+  Alcotest.check_raises "absent" Not_found (fun () ->
+      ignore (Graph.find_edge g 0 1))
+
+let test_max_degree () =
+  let g = Generators.star 7 in
+  check "max degree" 7 (Graph.max_degree g);
+  check "hub" 0 (Graph.max_degree_vertex g)
+
+let test_degree_sum () =
+  let g = Generators.random_apollonian 50 ~seed:1 in
+  let total = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    total := !total + Graph.degree g v
+  done;
+  check "handshake" (2 * Graph.m g) !total
+
+let test_volume () =
+  let g = Generators.cycle 6 in
+  check "volume of 3 vertices" 6 (Graph.volume g [ 0; 2; 4 ])
+
+let test_iter_edges_order () =
+  let g = Graph.of_edges 4 [ (3, 2); (0, 1); (0, 2) ] in
+  let order = Graph.fold_edges g (fun acc _ u v -> (u, v) :: acc) [] in
+  Alcotest.(check (list (pair int int)))
+    "lexicographic ids" [ (2, 3); (0, 2); (0, 1) ] order
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  check "initial count" 6 (Union_find.count uf);
+  checkb "union new" true (Union_find.union uf 0 1);
+  checkb "union again" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  checkb "same" true (Union_find.same uf 1 2);
+  checkb "not same" false (Union_find.same uf 1 4);
+  check "count" 3 (Union_find.count uf);
+  Alcotest.(check (list (list int)))
+    "groups" [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ] (Union_find.groups uf)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_path () =
+  let g = Generators.path 5 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |]
+    (Traversal.bfs g 0)
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let d = Traversal.bfs g 0 in
+  check "unreachable" (-1) d.(2)
+
+let test_bfs_multi () =
+  let g = Generators.path 5 in
+  let d = Traversal.bfs_multi g [ 0; 4 ] in
+  Alcotest.(check (array int)) "multi distances" [| 0; 1; 2; 1; 0 |] d
+
+let test_bfs_layers () =
+  let g = Generators.cycle 6 in
+  let layers = Traversal.bfs_layers g 0 in
+  Alcotest.(check (list int)) "layer 1" [ 1; 5 ] layers.(1);
+  Alcotest.(check (list int)) "layer 3" [ 3 ] layers.(3)
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (0, 1); (2, 3); (3, 4) ] in
+  let _, count = Traversal.components g in
+  check "three components" 3 count;
+  checkb "not connected" false (Traversal.is_connected g);
+  Alcotest.(check (list (list int)))
+    "component list" [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ] ]
+    (Traversal.component_list g)
+
+let test_diameter_cycle () =
+  check "diameter C10" 5 (Traversal.diameter (Generators.cycle 10));
+  check "diameter P7" 6 (Traversal.diameter (Generators.path 7));
+  check "diameter K5" 1 (Traversal.diameter (Generators.complete 5))
+
+let test_double_sweep_tree () =
+  let g = Generators.random_tree 60 ~seed:3 in
+  check "double sweep exact on trees" (Traversal.diameter g)
+    (Traversal.diameter_double_sweep g)
+
+let test_dijkstra_unit_matches_bfs () =
+  let g = Generators.random_apollonian 40 ~seed:5 in
+  let bfs = Traversal.bfs g 0 in
+  let dij = Traversal.dijkstra g (fun _ -> 1) 0 in
+  Array.iteri (fun v d -> check "dij = bfs" d dij.(v)) bfs
+
+let test_dijkstra_weighted () =
+  (* triangle with a heavy direct edge *)
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let w e =
+    let u, v = Graph.endpoints g e in
+    if (u, v) = (0, 2) then 10 else 1
+  in
+  let d = Traversal.dijkstra g w 0 in
+  check "shortcut through middle" 2 d.(2)
+
+let test_acyclic () =
+  checkb "tree acyclic" true
+    (Traversal.is_acyclic (Generators.random_tree 30 ~seed:7));
+  checkb "cycle not" false (Traversal.is_acyclic (Generators.cycle 5));
+  checkb "forest acyclic" true
+    (Traversal.is_acyclic (Graph.of_edges 5 [ (0, 1); (2, 3) ]))
+
+let test_spanning_forest () =
+  let g = Generators.random_apollonian 30 ~seed:9 in
+  let forest = Traversal.spanning_forest g in
+  check "tree edges" (Graph.n g - 1) (List.length forest);
+  let sub, _ = Graph_ops.subgraph_of_edges g forest in
+  checkb "spanning" true (Traversal.is_connected sub);
+  checkb "acyclic" true (Traversal.is_acyclic sub)
+
+(* ------------------------------------------------------------------ *)
+(* Graph ops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_induced_subgraph () =
+  let g = Generators.cycle 6 in
+  let sub, map = Graph_ops.induced_subgraph g [ 0; 1; 2; 4 ] in
+  Graph.check_invariants sub;
+  check "sub n" 4 (Graph.n sub);
+  check "sub m" 2 (Graph.m sub);
+  check "to_orig" 4 map.to_orig.(3);
+  check "to_sub" 3 map.to_sub.(4);
+  check "dropped" (-1) map.to_sub.(5);
+  Graph.iter_edges sub (fun e u v ->
+      let ou = map.to_orig.(u) and ov = map.to_orig.(v) in
+      let orig = map.edge_to_orig.(e) in
+      let a, b = Graph.endpoints g orig in
+      checkb "edge maps back" true ((a, b) = (min ou ov, max ou ov)))
+
+let test_remove_edges () =
+  let g = Generators.complete 4 in
+  let e = Graph.find_edge g 0 1 in
+  let g', _ = Graph_ops.remove_edges g [ e ] in
+  check "one less" 5 (Graph.m g');
+  checkb "gone" false (Graph.mem_edge g' 0 1)
+
+let test_remove_vertices () =
+  let g = Generators.complete 5 in
+  let g', map = Graph_ops.remove_vertices g [ 0 ] in
+  check "K4 remains" 6 (Graph.m g');
+  check "n" 4 (Graph.n g');
+  check "relabel" 1 map.to_orig.(0)
+
+let test_disjoint_union () =
+  let g = Graph_ops.disjoint_union (Generators.cycle 3) (Generators.path 3) in
+  check "n" 6 (Graph.n g);
+  check "m" 5 (Graph.m g);
+  checkb "no cross edge" false (Graph.mem_edge g 2 3)
+
+let test_contract_edges () =
+  let g = Generators.cycle 4 in
+  let e = Graph.find_edge g 0 1 in
+  let minor, labels = Graph_ops.contract_edges g [ e ] in
+  check "triangle n" 3 (Graph.n minor);
+  check "triangle m" 3 (Graph.m minor);
+  check "merged labels" labels.(0) labels.(1)
+
+let test_contract_parallel_collapse () =
+  (* contracting one edge of a triangle gives a single edge, not a multi-edge *)
+  let g = Generators.cycle 3 in
+  let minor, _ = Graph_ops.contract_edges g [ 0 ] in
+  check "n" 2 (Graph.n minor);
+  check "m" 1 (Graph.m minor)
+
+let test_subdivide () =
+  let g = Generators.complete 3 in
+  let e = Graph.find_edge g 0 1 in
+  let g' = Graph_ops.subdivide g e 2 in
+  check "n" 5 (Graph.n g');
+  check "m" 5 (Graph.m g');
+  checkb "direct edge gone" false (Graph.mem_edge g' 0 1);
+  checkb "path present" true
+    (Graph.mem_edge g' 0 3 && Graph.mem_edge g' 3 4 && Graph.mem_edge g' 4 1)
+
+let test_complement () =
+  let g = Generators.path 4 in
+  let c = Graph_ops.complement g in
+  check "m + m' = C(4,2)" 6 (Graph.m g + Graph.m c);
+  checkb "complement edge" true (Graph.mem_edge c 0 3)
+
+let test_relabel () =
+  let g = Generators.path 3 in
+  let g' = Graph_ops.relabel g [| 2; 1; 0 |] in
+  checkb "reversed path" true (Graph.mem_edge g' 2 1 && Graph.mem_edge g' 1 0)
+
+let test_cluster_partition () =
+  let g = Generators.grid 2 4 in
+  (* split into left and right 2x2 halves *)
+  let labels = Array.init 8 (fun v -> if v mod 4 < 2 then 0 else 1) in
+  let clusters, inter = Graph_ops.cluster_partition g labels 2 in
+  check "two clusters" 2 (Array.length clusters);
+  let vs0, sub0, _ = clusters.(0) in
+  check "cluster 0 size" 4 (List.length vs0);
+  check "cluster 0 edges" 4 (Graph.m sub0);
+  check "two crossing edges" 2 (List.length inter)
+
+(* ------------------------------------------------------------------ *)
+(* Weights                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_weights () =
+  let g = Generators.cycle 4 in
+  let w = Weights.random g ~max_w:10 ~seed:2 in
+  checkb "max bound respected" true (Weights.max_weight w <= 10);
+  checkb "positive" true (Array.for_all (fun x -> x >= 1) (Weights.raw w));
+  let u = Weights.uniform ~w:3 g in
+  check "uniform total" 12 (Weights.total_all u);
+  check "partial total" 6 (Weights.total u [ 0; 2 ])
+
+let test_weights_restrict () =
+  let g = Generators.complete 4 in
+  let w = Weights.of_array g (Array.init (Graph.m g) (fun e -> e + 1)) in
+  let sub, map = Graph_ops.induced_subgraph g [ 0; 1; 2 ] in
+  let w' = Weights.restrict w map in
+  Graph.iter_edges sub (fun e _ _ ->
+      check "restricted weight" (Weights.get w map.edge_to_orig.(e))
+        (Weights.get w' e))
+
+let test_weights_invalid () =
+  let g = Generators.path 3 in
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Weights: weights must be positive integers") (fun () ->
+      ignore (Weights.of_array g [| 1; 0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_counts () =
+  let g = Generators.grid 3 4 in
+  check "n" 12 (Graph.n g);
+  check "m" 17 (Graph.m g);
+  check "max deg" 4 (Graph.max_degree g)
+
+let test_torus_regular () =
+  let g = Generators.torus 4 5 in
+  check "m" 40 (Graph.m g);
+  for v = 0 to Graph.n g - 1 do
+    check "4-regular" 4 (Graph.degree g v)
+  done
+
+let test_hypercube () =
+  let g = Generators.hypercube 4 in
+  check "n" 16 (Graph.n g);
+  check "m" 32 (Graph.m g);
+  check "diameter" 4 (Traversal.diameter g)
+
+let test_double_star_shape () =
+  let g = Generators.double_star 3 in
+  check "n" 5 (Graph.n g);
+  check "m" 6 (Graph.m g);
+  check "spoke degree" 2 (Graph.degree g 2)
+
+let test_barbell_low_conductance () =
+  let g = Generators.barbell 5 3 in
+  check "n" 13 (Graph.n g);
+  checkb "connected" true (Traversal.is_connected g)
+
+let test_random_tree_is_tree () =
+  for seed = 0 to 4 do
+    let g = Generators.random_tree 37 ~seed in
+    check "m = n-1" 36 (Graph.m g);
+    checkb "connected" true (Traversal.is_connected g)
+  done
+
+let test_random_regular_degrees () =
+  let g = Generators.random_regular 20 3 ~seed:4 in
+  for v = 0 to 19 do
+    check "3-regular" 3 (Graph.degree g v)
+  done
+
+let test_k_tree_density () =
+  let g = Generators.random_k_tree 30 2 ~seed:6 in
+  (* 2-tree on n vertices has 2n - 3 edges *)
+  check "2-tree edges" 57 (Graph.m g);
+  checkb "connected" true (Traversal.is_connected g)
+
+let test_apollonian_planar_density () =
+  let g = Generators.random_apollonian 50 ~seed:8 in
+  (* maximal planar: 3n - 6 edges *)
+  check "3n - 6 edges" 144 (Graph.m g);
+  checkb "connected" true (Traversal.is_connected g)
+
+let test_outerplanar_density () =
+  let g = Generators.random_maximal_outerplanar 20 ~seed:10 in
+  (* maximal outerplanar: 2n - 3 edges *)
+  check "2n - 3 edges" 37 (Graph.m g);
+  checkb "connected" true (Traversal.is_connected g)
+
+let test_plant_k5s () =
+  let g = Generators.grid 5 5 in
+  let g' = Generators.plant_k5s g 2 ~seed:12 in
+  checkb "denser" true (Graph.m g' > Graph.m g);
+  check "same n" 25 (Graph.n g')
+
+let test_attach_stars () =
+  let g = Generators.cycle 5 in
+  let g' = Generators.attach_stars g ~stars:2 ~leaves:3 ~seed:14 in
+  check "n grows" 11 (Graph.n g');
+  check "m grows" 11 (Graph.m g')
+
+let test_attach_double_stars () =
+  let g = Generators.cycle 5 in
+  let g' = Generators.attach_double_stars g ~hubs:1 ~spokes:4 ~seed:16 in
+  check "n grows" 9 (Graph.n g');
+  check "m grows" 13 (Graph.m g')
+
+let test_shuffle_preserves () =
+  let g = Generators.random_apollonian 25 ~seed:18 in
+  let g' = Generators.shuffle g ~seed:19 in
+  check "same n" (Graph.n g) (Graph.n g');
+  check "same m" (Graph.m g) (Graph.m g');
+  let sorted_degrees h =
+    let d = Array.init (Graph.n h) (Graph.degree h) in
+    Array.sort compare d;
+    d
+  in
+  Alcotest.(check (array int)) "degree sequence" (sorted_degrees g)
+    (sorted_degrees g')
+
+let test_sign_labels () =
+  let g = Generators.grid 4 4 in
+  let communities = Array.init 16 (fun v -> v / 8) in
+  let labels =
+    Generators.planted_sign_labels g communities ~noise:0. ~seed:20
+  in
+  Graph.iter_edges g (fun e u v ->
+      checkb "label matches community" (communities.(u) = communities.(v))
+        labels.(e))
+
+(* ------------------------------------------------------------------ *)
+(* Graph IO                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let graphs_equal a b =
+  Graph.n a = Graph.n b && Graph.m a = Graph.m b
+  && Graph.fold_edges a (fun acc _ u v -> acc && Graph.mem_edge b u v) true
+
+let test_io_roundtrip () =
+  let g = Generators.random_apollonian 30 ~seed:80 in
+  let g', w = Graph_io.of_string (Graph_io.to_string g) in
+  checkb "unweighted roundtrip" true (graphs_equal g g');
+  checkb "no weights" true (w = None)
+
+let test_io_weighted_roundtrip () =
+  let g = Generators.grid 4 4 in
+  let w = Weights.random g ~max_w:9 ~seed:81 in
+  let g', w' = Graph_io.of_string (Graph_io.to_string ~weights:w g) in
+  checkb "graph matches" true (graphs_equal g g');
+  match w' with
+  | None -> Alcotest.fail "weights lost"
+  | Some w' ->
+      Graph.iter_edges g (fun e u v ->
+          check "weight preserved" (Weights.get w e)
+            (Weights.get w' (Graph.find_edge g' u v)))
+
+let test_io_comments_and_errors () =
+  let g, _ = Graph_io.of_string "# hi\n3 2\n0 1\n# mid\n1 2\n" in
+  check "n" 3 (Graph.n g);
+  check "m" 2 (Graph.m g);
+  (match Graph_io.of_string "3 5\n0 1\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure on count mismatch");
+  match Graph_io.of_string "nope" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure on bad header"
+
+let test_io_file_roundtrip () =
+  let g = Generators.random_tree 25 ~seed:82 in
+  let path = Filename.temp_file "graphio" ".txt" in
+  Graph_io.save g ~path;
+  let g', _ = Graph_io.load ~path in
+  Sys.remove path;
+  checkb "file roundtrip" true (graphs_equal g g')
+
+let test_dot_output () =
+  let g = Generators.cycle 4 in
+  let dot = Graph_io.to_dot ~labels:[| 0; 0; 1; 1 |] ~highlight:[ 0 ] g in
+  checkb "has graph header" true
+    (String.length dot > 10 && String.sub dot 0 7 = "graph G");
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "has bold edge" true (contains dot "penwidth")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    QCheck.Gen.(
+      int_range 1 30 >>= fun n ->
+      let edge = map2 (fun a b -> (a mod n, b mod n)) nat nat in
+      map (fun es -> (n, es)) (list_size (int_range 0 60) edge))
+
+let prop_invariants =
+  QCheck.Test.make ~name:"CSR invariants hold for arbitrary edge lists"
+    ~count:300 arb_graph (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      Graph.check_invariants g;
+      true)
+
+let prop_handshake =
+  QCheck.Test.make ~name:"degree sum equals 2m" ~count:300 arb_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      let s = ref 0 in
+      for v = 0 to n - 1 do
+        s := !s + Graph.degree g v
+      done;
+      !s = 2 * Graph.m g)
+
+let prop_induced_subgraph_edges =
+  QCheck.Test.make ~name:"induced subgraph keeps exactly internal edges"
+    ~count:200
+    QCheck.(pair arb_graph (list small_nat))
+    (fun ((n, edges), vs) ->
+      let g = Graph.of_edges n edges in
+      let vs = List.filter (fun v -> v < n) vs in
+      let sub, map = Graph_ops.induced_subgraph g vs in
+      Graph.check_invariants sub;
+      let expected =
+        Graph.fold_edges g
+          (fun acc _ u v ->
+            if map.to_sub.(u) >= 0 && map.to_sub.(v) >= 0 then acc + 1 else acc)
+          0
+      in
+      Graph.m sub = expected)
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs distances obey edge triangle inequality"
+    ~count:200 arb_graph (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      let d = Traversal.bfs g 0 in
+      Graph.fold_edges g
+        (fun ok _ u v ->
+          ok
+          && ((d.(u) < 0 && d.(v) < 0)
+             || (d.(u) >= 0 && d.(v) >= 0 && abs (d.(u) - d.(v)) <= 1)))
+        true)
+
+let prop_contract_minor_smaller =
+  QCheck.Test.make ~name:"contraction never increases n or m" ~count:200
+    arb_graph (fun (n, edges) ->
+      let g = Graph.of_edges n edges in
+      if Graph.m g = 0 then true
+      else begin
+        let minor, _ = Graph_ops.contract_edges g [ 0 ] in
+        Graph.n minor < n && Graph.m minor < Graph.m g
+      end)
+
+let prop_union_find_transitive =
+  QCheck.Test.make ~name:"union-find equivalence is transitive" ~count:200
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      let ok = ref true in
+      for a = 0 to 19 do
+        for b = 0 to 19 do
+          for c = 0 to 19 do
+            if
+              Union_find.same uf a b && Union_find.same uf b c
+              && not (Union_find.same uf a c)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_invariants;
+      prop_handshake;
+      prop_induced_subgraph_edges;
+      prop_bfs_triangle_inequality;
+      prop_contract_minor_smaller;
+      prop_union_find_transitive;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sparse_graph"
+    [
+      ( "graph",
+        [
+          tc "of_edges basic" test_of_edges_basic;
+          tc "of_edges dedup" test_of_edges_dedup;
+          tc "of_edges range check" test_of_edges_range;
+          tc "endpoints normalized" test_endpoints_normalized;
+          tc "find_edge" test_find_edge;
+          tc "max degree" test_max_degree;
+          tc "handshake lemma" test_degree_sum;
+          tc "volume" test_volume;
+          tc "edge id order" test_iter_edges_order;
+        ] );
+      ("union_find", [ tc "operations" test_union_find ]);
+      ( "traversal",
+        [
+          tc "bfs path" test_bfs_path;
+          tc "bfs disconnected" test_bfs_disconnected;
+          tc "bfs multi-source" test_bfs_multi;
+          tc "bfs layers" test_bfs_layers;
+          tc "components" test_components;
+          tc "diameter known graphs" test_diameter_cycle;
+          tc "double sweep on trees" test_double_sweep_tree;
+          tc "dijkstra unit = bfs" test_dijkstra_unit_matches_bfs;
+          tc "dijkstra weighted" test_dijkstra_weighted;
+          tc "acyclicity" test_acyclic;
+          tc "spanning forest" test_spanning_forest;
+        ] );
+      ( "graph_ops",
+        [
+          tc "induced subgraph" test_induced_subgraph;
+          tc "remove edges" test_remove_edges;
+          tc "remove vertices" test_remove_vertices;
+          tc "disjoint union" test_disjoint_union;
+          tc "contract edge" test_contract_edges;
+          tc "contract collapses parallels" test_contract_parallel_collapse;
+          tc "subdivide" test_subdivide;
+          tc "complement" test_complement;
+          tc "relabel" test_relabel;
+          tc "cluster partition" test_cluster_partition;
+        ] );
+      ( "weights",
+        [
+          tc "basics" test_weights;
+          tc "restrict to subgraph" test_weights_restrict;
+          tc "reject non-positive" test_weights_invalid;
+        ] );
+      ( "generators",
+        [
+          tc "grid counts" test_grid_counts;
+          tc "torus regular" test_torus_regular;
+          tc "hypercube" test_hypercube;
+          tc "double star" test_double_star_shape;
+          tc "barbell" test_barbell_low_conductance;
+          tc "random tree" test_random_tree_is_tree;
+          tc "random regular" test_random_regular_degrees;
+          tc "k-tree density" test_k_tree_density;
+          tc "apollonian density" test_apollonian_planar_density;
+          tc "outerplanar density" test_outerplanar_density;
+          tc "plant K5s" test_plant_k5s;
+          tc "attach stars" test_attach_stars;
+          tc "attach double stars" test_attach_double_stars;
+          tc "shuffle preserves structure" test_shuffle_preserves;
+          tc "planted sign labels" test_sign_labels;
+        ] );
+      ( "graph_io",
+        [
+          tc "roundtrip" test_io_roundtrip;
+          tc "weighted roundtrip" test_io_weighted_roundtrip;
+          tc "comments and errors" test_io_comments_and_errors;
+          tc "file roundtrip" test_io_file_roundtrip;
+          tc "dot export" test_dot_output;
+        ] );
+      ("properties", qcheck_cases);
+    ]
