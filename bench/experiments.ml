@@ -7,6 +7,17 @@ open Tables
 
 let charged = Core.Pipeline.Charged
 
+(* Worker pool for the grid points inside each experiment; bench/main.ml
+   sets it from --jobs / EXPANDER_JOBS. *)
+let pool = ref Parallel.Pool.sequential
+
+(* [grid tasks f] computes each independent grid point on the pool and
+   concatenates the returned row groups in task order, so every table is
+   byte-identical to a sequential run at any --jobs value. *)
+let grid tasks f = List.concat (Parallel.Pool.map_list !pool f tasks)
+
+let cartesian xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
 (* ------------------------------------------------------------------ *)
 (* E1 - Theorem 1.2: (1 - eps)-approximate MaxIS                        *)
 (* ------------------------------------------------------------------ *)
@@ -23,37 +34,33 @@ let mis_reference g =
 let e1 () =
   note "\n### E1 (Theorem 1.2): (1-eps)-approximate maximum independent set\n";
   note "claim: ratio >= 1 - eps on H-minor-free networks, poly(log n, 1/eps) rounds\n";
-  let rows = ref [] in
-  List.iter
-    (fun (fname, gen) ->
-      List.iter
-        (fun n ->
-          let g = gen n in
-          let opt, kind = mis_reference g in
-          List.iter
-            (fun eps ->
-              let r =
-                Core.App_mis.run ~mode:charged ~exact_limit:400 g ~epsilon:eps
-                  ~seed:1
-              in
-              let p = r.pipeline.report in
-              rows :=
-                [
-                  fname; i (Graph.n g); f2 eps; i p.k; pct p.inter_fraction;
-                  i r.size;
-                  Printf.sprintf "%d (%s)" opt kind;
-                  f3 (float_of_int r.size /. float_of_int opt);
-                  f3 (1. -. eps);
-                ]
-                :: !rows)
-            [ 0.5; 0.25; 0.1 ])
-        [ 100; 256 ])
-    (Workloads.families ~seed:11);
+  let rows =
+    grid
+      (cartesian (Workloads.families ~seed:11) [ 100; 256 ])
+      (fun ((fname, gen), n) ->
+        let g = gen n in
+        let opt, kind = mis_reference g in
+        List.map
+          (fun eps ->
+            let r =
+              Core.App_mis.run ~mode:charged ~exact_limit:400 g ~epsilon:eps
+                ~seed:1
+            in
+            let p = r.pipeline.report in
+            [
+              fname; i (Graph.n g); f2 eps; i p.k; pct p.inter_fraction;
+              i r.size;
+              Printf.sprintf "%d (%s)" opt kind;
+              f3 (float_of_int r.size /. float_of_int opt);
+              f3 (1. -. eps);
+            ])
+          [ 0.5; 0.25; 0.1 ])
+  in
   print_table ~title:"E1: MaxIS approximation"
     ~header:
       [ "family"; "n"; "eps"; "k"; "inter"; "size"; "reference"; "ratio";
         "target" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E2 - Theorem 3.2: (1 - eps)-approximate MCM on planar graphs         *)
@@ -98,32 +105,29 @@ let e2 () =
       pipeline.clusters;
     Array.fold_left (fun acc m -> if m >= 0 then acc + 1 else acc) 0 mate / 2
   in
-  let rows = ref [] in
-  List.iter
-    (fun (name, g) ->
-      let opt =
-        Matching.Blossom.size (Matching.Blossom.max_cardinality_matching g)
-      in
-      List.iter
-        (fun eps ->
-          let r = Core.App_matching.mcm_planar ~mode:charged g ~epsilon:eps ~seed:5 in
-          let without = mcm_no_preprocess g eps 5 in
-          rows :=
+  let rows =
+    grid instances (fun (name, g) ->
+        let opt =
+          Matching.Blossom.size (Matching.Blossom.max_cardinality_matching g)
+        in
+        List.map
+          (fun eps ->
+            let r = Core.App_matching.mcm_planar ~mode:charged g ~epsilon:eps ~seed:5 in
+            let without = mcm_no_preprocess g eps 5 in
             [
               name; i (Graph.n g); f2 eps; i opt; i r.size;
               f3 (float_of_int r.size /. float_of_int (max 1 opt));
               f3 (1. -. eps);
               i without;
               f3 (float_of_int without /. float_of_int (max 1 opt));
-            ]
-            :: !rows)
-        [ 0.4; 0.2; 0.1 ])
-    instances;
+            ])
+          [ 0.4; 0.2; 0.1 ])
+  in
   print_table ~title:"E2: planar MCM (with preprocessing ablation)"
     ~header:
       [ "graph"; "n"; "eps"; "opt"; "size"; "ratio"; "target"; "no-prep";
         "no-prep ratio" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E3 - Theorem 1.1: (1 - eps)-approximate MWM                          *)
@@ -134,57 +138,55 @@ let e3 () =
   note "claim: the scaling pipeline beats the 1/2-approx baselines and approaches\n";
   note "the optimum; exact ratios are measured on subset-DP-sized instances\n";
   (* small instances: exact ratio *)
-  let small_rows = ref [] in
-  List.iter
-    (fun seed ->
-      let g =
-        Generators.add_random_edges (Generators.random_tree 14 ~seed) 9 ~seed
-      in
-      let w = Weights.random g ~max_w:50 ~seed in
-      let opt = Matching.Exact_small.max_weight_matching g w in
-      List.iter
-        (fun eps ->
-          let r = Core.App_matching.mwm ~mode:charged g w ~epsilon:eps ~seed in
-          small_rows :=
+  let small_rows =
+    grid [ 0; 1; 2 ] (fun seed ->
+        let g =
+          Generators.add_random_edges (Generators.random_tree 14 ~seed) 9 ~seed
+        in
+        let w = Weights.random g ~max_w:50 ~seed in
+        let opt = Matching.Exact_small.max_weight_matching g w in
+        List.map
+          (fun eps ->
+            let r = Core.App_matching.mwm ~mode:charged g w ~epsilon:eps ~seed in
             [
               Printf.sprintf "random(seed=%d)" seed; i (Graph.n g); f2 eps;
               i opt; i r.weight;
               f3 (float_of_int r.weight /. float_of_int opt);
               f3 (1. -. eps);
-            ]
-            :: !small_rows)
-        [ 0.3; 0.1 ])
-    [ 0; 1; 2 ];
+            ])
+          [ 0.3; 0.1 ])
+  in
   print_table ~title:"E3a: MWM exact ratios (small instances)"
     ~header:[ "graph"; "n"; "eps"; "opt"; "weight"; "ratio"; "target" ]
-    (List.rev !small_rows);
+    small_rows;
   (* larger instances: vs baselines, with the greedy certificate OPT <= 2G *)
-  let rows = ref [] in
-  List.iter
-    (fun (name, gen) ->
-      List.iter
-        (fun max_w ->
-          let g = gen 256 in
-          let w = Weights.random g ~max_w ~seed:7 in
-          let r = Core.App_matching.mwm ~mode:charged g w ~epsilon:0.2 ~seed:7 in
-          let greedy = Matching.Approx.weight g w (Matching.Approx.greedy g w) in
-          let pg =
-            Matching.Approx.weight g w (Matching.Approx.path_growing g w)
-          in
-          rows :=
-            [
-              name; i (Graph.n g); i max_w; i r.weight; i greedy; i pg;
-              f3 (float_of_int r.weight /. float_of_int greedy);
-              f3 (float_of_int r.weight /. float_of_int (2 * greedy));
-            ]
-            :: !rows)
-        [ 8; 64 ])
-    [ ("grid", Workloads.grid_of); ("apollonian", fun n -> Generators.random_apollonian n ~seed:8) ];
+  let rows =
+    grid
+      (cartesian
+         [ ("grid", Workloads.grid_of);
+           ("apollonian", fun n -> Generators.random_apollonian n ~seed:8) ]
+         [ 8; 64 ])
+      (fun ((name, gen), max_w) ->
+        let g = gen 256 in
+        let w = Weights.random g ~max_w ~seed:7 in
+        let r = Core.App_matching.mwm ~mode:charged g w ~epsilon:0.2 ~seed:7 in
+        let greedy = Matching.Approx.weight g w (Matching.Approx.greedy g w) in
+        let pg =
+          Matching.Approx.weight g w (Matching.Approx.path_growing g w)
+        in
+        [
+          [
+            name; i (Graph.n g); i max_w; i r.weight; i greedy; i pg;
+            f3 (float_of_int r.weight /. float_of_int greedy);
+            f3 (float_of_int r.weight /. float_of_int (2 * greedy));
+          ];
+        ])
+  in
   print_table ~title:"E3b: MWM vs distributed baselines (W sweep)"
     ~header:
       [ "family"; "n"; "W"; "framework"; "greedy"; "path-grow"; "vs greedy";
         "certified ratio" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E4 - Theorem 1.3: correlation clustering                             *)
@@ -195,54 +197,53 @@ let e4 () =
   note "claim: score >= (1 - eps) gamma(G) with gamma >= m/2; planted labels with\n";
   note "noise are recovered near the ground truth\n";
   (* exact ratios on small instances *)
-  let small_rows = ref [] in
-  List.iter
-    (fun seed ->
-      let g =
-        Generators.add_random_edges (Generators.random_tree 13 ~seed) 9 ~seed
-      in
-      let labels = Generators.random_sign_labels g ~frac_pos:0.55 ~seed in
-      let opt = Optimize.Correlation.exact_score g labels in
-      let r = Core.App_correlation.run ~mode:charged g ~labels ~epsilon:0.2 ~seed in
-      small_rows :=
+  let small_rows =
+    grid [ 0; 1; 2; 3 ] (fun seed ->
+        let g =
+          Generators.add_random_edges (Generators.random_tree 13 ~seed) 9 ~seed
+        in
+        let labels = Generators.random_sign_labels g ~frac_pos:0.55 ~seed in
+        let opt = Optimize.Correlation.exact_score g labels in
+        let r = Core.App_correlation.run ~mode:charged g ~labels ~epsilon:0.2 ~seed in
         [
-          Printf.sprintf "random(seed=%d)" seed; i (Graph.n g); i opt;
-          i r.score;
-          f3 (float_of_int r.score /. float_of_int opt);
-        ]
-        :: !small_rows)
-    [ 0; 1; 2; 3 ];
+          [
+            Printf.sprintf "random(seed=%d)" seed; i (Graph.n g); i opt;
+            i r.score;
+            f3 (float_of_int r.score /. float_of_int opt);
+          ];
+        ])
+  in
   print_table ~title:"E4a: correlation clustering exact ratios (small)"
     ~header:[ "graph"; "n"; "opt"; "score"; "ratio" ]
-    (List.rev !small_rows);
-  let rows = ref [] in
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun noise ->
-          let communities, labels =
-            Workloads.planted_correlation g ~communities_count:4 ~noise ~seed:9
-          in
-          let r = Core.App_correlation.run ~mode:charged g ~labels ~epsilon:0.2 ~seed:9 in
-          let planted = Optimize.Correlation.score g labels communities in
-          rows :=
-            [
-              name; i (Graph.n g); f2 noise; i (Graph.m g); i r.score;
-              i planted;
-              pct (float_of_int r.score /. float_of_int (Graph.m g));
-              pct (float_of_int r.score /. float_of_int (max 1 planted));
-            ]
-            :: !rows)
-        [ 0.0; 0.1; 0.3 ])
-    [
-      ("grid", Workloads.grid_of 400);
-      ("apollonian", Generators.random_apollonian 300 ~seed:10);
-    ];
+    small_rows;
+  let rows =
+    grid
+      (cartesian
+         [
+           ("grid", Workloads.grid_of 400);
+           ("apollonian", Generators.random_apollonian 300 ~seed:10);
+         ]
+         [ 0.0; 0.1; 0.3 ])
+      (fun ((name, g), noise) ->
+        let communities, labels =
+          Workloads.planted_correlation g ~communities_count:4 ~noise ~seed:9
+        in
+        let r = Core.App_correlation.run ~mode:charged g ~labels ~epsilon:0.2 ~seed:9 in
+        let planted = Optimize.Correlation.score g labels communities in
+        [
+          [
+            name; i (Graph.n g); f2 noise; i (Graph.m g); i r.score;
+            i planted;
+            pct (float_of_int r.score /. float_of_int (Graph.m g));
+            pct (float_of_int r.score /. float_of_int (max 1 planted));
+          ];
+        ])
+  in
   print_table ~title:"E4b: correlation clustering, planted labels"
     ~header:
       [ "family"; "n"; "noise"; "m"; "score"; "planted"; "score/m";
         "vs planted" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E5 - Theorem 1.4: property testing                                   *)
@@ -272,43 +273,44 @@ let e5 () =
     in
     densify (max 16 (Graph.m base / 4))
   in
-  let rows = ref [] in
-  List.iter
-    (fun (p : Minorfree.Properties.t) ->
-      let accept_members =
-        List.length
-          (List.filter
-             (fun seed ->
-               (Core.App_property.run ~mode:charged (member_of p seed) p
-                  ~epsilon:eps ~seed)
-                 .accepted)
-             seeds)
-      in
-      let reject_far =
-        List.length
-          (List.filter
-             (fun seed ->
-               not
-                 (Core.App_property.run ~mode:charged (far_of p seed) p
+  let rows =
+    grid
+      [
+        Minorfree.Properties.planar; Minorfree.Properties.forest;
+        Minorfree.Properties.outerplanar; Minorfree.Properties.series_parallel;
+      ]
+      (fun (p : Minorfree.Properties.t) ->
+        let accept_members =
+          List.length
+            (List.filter
+               (fun seed ->
+                 (Core.App_property.run ~mode:charged (member_of p seed) p
                     ~epsilon:eps ~seed)
                    .accepted)
-             seeds)
-      in
-      rows :=
+               seeds)
+        in
+        let reject_far =
+          List.length
+            (List.filter
+               (fun seed ->
+                 not
+                   (Core.App_property.run ~mode:charged (far_of p seed) p
+                      ~epsilon:eps ~seed)
+                     .accepted)
+               seeds)
+        in
         [
-          p.name;
-          Printf.sprintf "K_%d" p.forbidden_clique;
-          Printf.sprintf "%d/%d" accept_members (List.length seeds);
-          Printf.sprintf "%d/%d" reject_far (List.length seeds);
-        ]
-        :: !rows)
-    [
-      Minorfree.Properties.planar; Minorfree.Properties.forest;
-      Minorfree.Properties.outerplanar; Minorfree.Properties.series_parallel;
-    ];
+          [
+            p.name;
+            Printf.sprintf "K_%d" p.forbidden_clique;
+            Printf.sprintf "%d/%d" accept_members (List.length seeds);
+            Printf.sprintf "%d/%d" reject_far (List.length seeds);
+          ];
+        ])
+  in
   print_table ~title:"E5: property testing accept/reject (eps = 0.15)"
     ~header:[ "property"; "forbidden"; "members accepted"; "far rejected" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E6 - Theorem 1.5: low-diameter decomposition D = O(1/eps)            *)
@@ -318,36 +320,36 @@ let e6 () =
   note "\n### E6 (Theorem 1.5): low-diameter decomposition with D = O(1/eps)\n";
   note "claim: D grows linearly in 1/eps (D*eps roughly constant), cut <= eps*m;\n";
   note "ablation: MPX random shifts carry an extra log n factor\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun eps ->
-          let r = Core.App_ldd.run ~mode:charged g ~epsilon:eps ~seed:13 in
-          let mpx = Decomp.Ldd.mpx g ~beta:(eps /. 2.) ~seed:13 in
-          let mpx_d = Decomp.Partition.max_cluster_diameter g mpx in
-          let rg = Decomp.Ldd.region_growing g ~epsilon:eps in
-          let rg_d = Decomp.Partition.max_cluster_diameter g rg in
-          rows :=
-            [
-              name; i (Graph.n g); f3 eps; i r.max_diameter;
-              f2 (float_of_int r.max_diameter *. eps);
-              pct r.cut_fraction; pct eps;
-              i mpx_d; i rg_d;
-            ]
-            :: !rows)
-        [ 0.5; 0.25; 0.125; 0.0625 ])
-    [
-      ("grid", Workloads.grid_of 1024);
-      ("apollonian", Generators.random_apollonian 800 ~seed:14);
-      ("k-tree(3)", Generators.random_k_tree 600 3 ~seed:15);
-      ("tree", Generators.random_tree 800 ~seed:16);
-    ];
+  let rows =
+    grid
+      (cartesian
+         [
+           ("grid", Workloads.grid_of 1024);
+           ("apollonian", Generators.random_apollonian 800 ~seed:14);
+           ("k-tree(3)", Generators.random_k_tree 600 3 ~seed:15);
+           ("tree", Generators.random_tree 800 ~seed:16);
+         ]
+         [ 0.5; 0.25; 0.125; 0.0625 ])
+      (fun ((name, g), eps) ->
+        let r = Core.App_ldd.run ~mode:charged g ~epsilon:eps ~seed:13 in
+        let mpx = Decomp.Ldd.mpx g ~beta:(eps /. 2.) ~seed:13 in
+        let mpx_d = Decomp.Partition.max_cluster_diameter g mpx in
+        let rg = Decomp.Ldd.region_growing g ~epsilon:eps in
+        let rg_d = Decomp.Partition.max_cluster_diameter g rg in
+        [
+          [
+            name; i (Graph.n g); f3 eps; i r.max_diameter;
+            f2 (float_of_int r.max_diameter *. eps);
+            pct r.cut_fraction; pct eps;
+            i mpx_d; i rg_d;
+          ];
+        ])
+  in
   print_table ~title:"E6: LDD diameter vs 1/eps (KPR in-framework; MPX, region-growing ablations)"
     ~header:
       [ "family"; "n"; "eps"; "D"; "D*eps"; "cut"; "budget"; "D(mpx)";
         "D(region)" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E7 - Theorem 1.6 + Lemma 2.3: separators and high-degree vertices    *)
@@ -357,33 +359,31 @@ let e7 () =
   note "\n### E7 (Theorem 1.6 + Lemma 2.3): edge separators and high-degree leaders\n";
   note "claim: minor-free families have balanced separators of size O(sqrt(Delta n))\n";
   note "(bounded ratio); contrast families (hypercube, random regular) blow up\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, gen) ->
-      List.iter
-        (fun n ->
-          let g = gen n in
-          if Graph.n g >= 6 then begin
-            let cut = Decomp.Edge_separator.best g ~seed:17 in
-            rows :=
-              [
-                name; i (Graph.n g); i (Graph.m g);
-                i (Graph.max_degree g); i cut.crossing;
-                f2 (sqrt (float_of_int (Graph.max_degree g * Graph.n g)));
-                f2 (Decomp.Edge_separator.quality g cut);
-              ]
-              :: !rows
-          end)
-        [ 256; 1024 ])
-    (Workloads.families_with_contrast ~seed:18);
+  let rows =
+    grid
+      (cartesian (Workloads.families_with_contrast ~seed:18) [ 256; 1024 ])
+      (fun ((name, gen), n) ->
+        let g = gen n in
+        if Graph.n g >= 6 then begin
+          let cut = Decomp.Edge_separator.best g ~seed:17 in
+          [
+            [
+              name; i (Graph.n g); i (Graph.m g);
+              i (Graph.max_degree g); i cut.crossing;
+              f2 (sqrt (float_of_int (Graph.max_degree g * Graph.n g)));
+              f2 (Decomp.Edge_separator.quality g cut);
+            ];
+          ]
+        end
+        else [])
+  in
   print_table ~title:"E7a: balanced edge separator sizes"
     ~header:
       [ "family"; "n"; "m"; "Delta"; "|dS|"; "sqrt(Delta*n)"; "ratio" ]
-    (List.rev !rows);
+    rows;
   (* Lemma 2.3: max cluster degree vs phi^2 |V_i| *)
-  let rows2 = ref [] in
-  List.iter
-    (fun (name, gen) ->
+  let rows2 =
+    grid (Workloads.families ~seed:19) (fun (name, gen) ->
       let g = gen 512 in
       let d = Spectral.Expander_decomposition.decompose g ~epsilon:0.4 in
       let clusters = Spectral.Expander_decomposition.clusters g d in
@@ -400,19 +400,19 @@ let e7 () =
             if ratio < !worst_ratio then worst_ratio := ratio
           end)
         clusters;
-      rows2 :=
+      [
         [
           name; i d.k; Printf.sprintf "%.1e" d.phi;
           (if !worst_ratio = infinity then "-" else f4 !worst_ratio);
           (if !worst_slack = infinity then "-"
            else Printf.sprintf "%.1e" !worst_slack);
-        ]
-        :: !rows2)
-    (Workloads.families ~seed:19);
+        ];
+      ])
+  in
   print_table
     ~title:"E7b: Lemma 2.3 high-degree condition (slack = min Delta_i / (phi^2 |V_i|) >> 1)"
     ~header:[ "family"; "k"; "phi"; "min Delta_i/|V_i|"; "slack" ]
-    (List.rev !rows2)
+    rows2
 
 (* ------------------------------------------------------------------ *)
 (* E8 - Theorems 2.1 / 2.6: decomposition quality and round scaling     *)
@@ -423,54 +423,54 @@ let e8 () =
   note "claim: inter-cluster <= eps*m; cluster conductance >= phi; charged rounds\n";
   note "scale polylogarithmically (flat charged/log^3 n column); simulated rounds\n";
   note "for small n; ablation: BFS-ball clustering has no conductance floor\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, gen, eps) ->
-      List.iter
-        (fun n ->
-          let g = gen n in
-          let real_n = Graph.n g in
-          let d = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
-          let _, worst = Spectral.Expander_decomposition.verify g d in
-          let charged = Core.Pipeline.construction_charge ~n:real_n ~epsilon:eps in
-          let logn = log (float_of_int (max 2 real_n)) /. log 2. in
-          let simulated =
-            if real_n <= 150 then begin
-              let p = Core.Pipeline.prepare ~mode:Core.Pipeline.Simulated g ~epsilon:eps ~seed:20 in
-              i p.report.simulated_rounds
-            end
-            else "-"
-          in
-          (* ablation: BFS balls of comparable cluster count *)
-          let bfs = Spectral.Expander_decomposition.bfs_ball_baseline g ~radius:3 in
-          let _, bfs_worst =
-            Spectral.Expander_decomposition.verify g
-              { bfs with epsilon = 1.0 }
-          in
-          let det =
-            Core.Pipeline.construction_charge_deterministic ~n:real_n
-              ~epsilon:eps
-          in
-          rows :=
-            [
-              name; i real_n; f2 eps; i d.k;
-              pct (Spectral.Expander_decomposition.inter_fraction g d);
-              Printf.sprintf "%.1e" d.phi; f4 worst;
-              i charged; f1 (float_of_int charged /. (logn ** 3.));
-              i det; simulated; f4 bfs_worst;
-            ]
-            :: !rows)
-        [ 64; 256; 1024; 4096 ])
-    [
-      ("grid", Workloads.grid_of, 0.5);
-      ("tree", (fun n -> Generators.random_tree n ~seed:21), 0.3);
-      ("apollonian", (fun n -> Generators.random_apollonian n ~seed:22), 0.3);
-    ];
+  let rows =
+    grid
+      (cartesian
+         [
+           ("grid", Workloads.grid_of, 0.5);
+           ("tree", (fun n -> Generators.random_tree n ~seed:21), 0.3);
+           ("apollonian", (fun n -> Generators.random_apollonian n ~seed:22), 0.3);
+         ]
+         [ 64; 256; 1024; 4096 ])
+      (fun ((name, gen, eps), n) ->
+        let g = gen n in
+        let real_n = Graph.n g in
+        let d = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
+        let _, worst = Spectral.Expander_decomposition.verify g d in
+        let charged = Core.Pipeline.construction_charge ~n:real_n ~epsilon:eps in
+        let logn = log (float_of_int (max 2 real_n)) /. log 2. in
+        let simulated =
+          if real_n <= 150 then begin
+            let p = Core.Pipeline.prepare ~mode:Core.Pipeline.Simulated g ~epsilon:eps ~seed:20 in
+            i p.report.simulated_rounds
+          end
+          else "-"
+        in
+        (* ablation: BFS balls of comparable cluster count *)
+        let bfs = Spectral.Expander_decomposition.bfs_ball_baseline g ~radius:3 in
+        let _, bfs_worst =
+          Spectral.Expander_decomposition.verify g
+            { bfs with epsilon = 1.0 }
+        in
+        let det =
+          Core.Pipeline.construction_charge_deterministic ~n:real_n
+            ~epsilon:eps
+        in
+        [
+          [
+            name; i real_n; f2 eps; i d.k;
+            pct (Spectral.Expander_decomposition.inter_fraction g d);
+            Printf.sprintf "%.1e" d.phi; f4 worst;
+            i charged; f1 (float_of_int charged /. (logn ** 3.));
+            i det; simulated; f4 bfs_worst;
+          ];
+        ])
+  in
   print_table ~title:"E8: decomposition + rounds scaling"
     ~header:
       [ "family"; "n"; "eps"; "k"; "inter"; "phi"; "min cond"; "charged";
         "charged/log^3"; "det charge"; "simulated"; "bfs-ball cond" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E9 - Lemma 2.4: random-walk routing                                  *)
@@ -487,36 +487,35 @@ let e9 () =
   let max_leader = election.leader_of in
   (* ablation leader: vertex 0 regardless of degree *)
   let fixed_leader = Array.make (Graph.n g) 0 in
-  let rows = ref [] in
-  List.iter
-    (fun walk_len ->
-      let run leader_of =
-        Distr.Walk_routing.run view ~leader_of
-          ~tokens_of:(fun _ -> 2)
-          ~walk_len ~seed:24 ~max_rounds:(walk_len * 60)
-      in
-      let r_max = run max_leader in
-      let r_fixed = run fixed_leader in
-      let rate r =
-        Distr.Walk_routing.delivery_rate view ~tokens_of:(fun _ -> 2) r
-      in
-      (* deterministic tree pipelining (Lemma 2.5 stand-in) for contrast *)
-      let det =
-        Distr.Tree_routing.run view ~leader_of:max_leader
-          ~tokens_of:(fun _ -> 2)
-          ~max_rounds:4000
-      in
-      rows :=
+  let rows =
+    grid [ 4; 16; 64; 256; 1024 ] (fun walk_len ->
+        let run leader_of =
+          Distr.Walk_routing.run view ~leader_of
+            ~tokens_of:(fun _ -> 2)
+            ~walk_len ~seed:24 ~max_rounds:(walk_len * 60)
+        in
+        let r_max = run max_leader in
+        let r_fixed = run fixed_leader in
+        let rate r =
+          Distr.Walk_routing.delivery_rate view ~tokens_of:(fun _ -> 2) r
+        in
+        (* deterministic tree pipelining (Lemma 2.5 stand-in) for contrast *)
+        let det =
+          Distr.Tree_routing.run view ~leader_of:max_leader
+            ~tokens_of:(fun _ -> 2)
+            ~max_rounds:4000
+        in
         [
-          i walk_len;
-          pct (rate r_max);
-          i r_max.stats.Congest.Network.last_traffic_round;
-          i r_max.stats.Congest.Network.max_edge_bits;
-          pct (rate r_fixed);
-          i det.stats.Congest.Network.last_traffic_round;
-        ]
-        :: !rows)
-    [ 4; 16; 64; 256; 1024 ];
+          [
+            i walk_len;
+            pct (rate r_max);
+            i r_max.stats.Congest.Network.last_traffic_round;
+            i r_max.stats.Congest.Network.max_edge_bits;
+            pct (rate r_fixed);
+            i det.stats.Congest.Network.last_traffic_round;
+          ];
+        ])
+  in
   print_table
     ~title:
       (Printf.sprintf
@@ -527,7 +526,7 @@ let e9 () =
     ~header:
       [ "walk budget"; "delivered"; "rounds"; "max edge bits";
         "delivered (low-deg leader)"; "det-tree rounds" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E10 - Section 2: mixing time vs conductance                          *)
@@ -537,28 +536,9 @@ let e10 () =
   note "\n### E10 (Section 2): Theta(1/Phi) <= tau_mix <= Theta(log n / Phi^2)\n";
   note "claim: the Jerrum-Sinclair sandwich holds for the lazy walk; expanders\n";
   note "mix in O(log n), cycles and paths in Theta(n^2)\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, g) ->
-      let phi =
-        if Graph.n g <= 14 then Spectral.Conductance.exact g
-        else
-          (Spectral.Sweep_cut.combined_cut g ~iters:400 ~seed:25).conductance
-      in
-      match Spectral.Random_walk.mixing_time g ~max_t:200_000 with
-      | None -> ()
-      | Some tmix ->
-          let n = float_of_int (Graph.n g) in
-          let lower = 1. /. phi in
-          let upper = log n /. (phi *. phi) in
-          rows :=
-            [
-              name; i (Graph.n g); f4 phi; i tmix;
-              f2 (float_of_int tmix /. lower);
-              f3 (float_of_int tmix /. upper);
-            ]
-            :: !rows)
-    [
+  let rows =
+    grid
+      [
       ("complete K12", Generators.complete 12);
       ("complete K32", Generators.complete 32);
       ("hypercube Q6", Generators.hypercube 6);
@@ -569,11 +549,31 @@ let e10 () =
       ("path 48", Generators.path 48);
       ("apollonian 64", Generators.random_apollonian 64 ~seed:26);
       ("barbell 8+2", Generators.barbell 8 2);
-    ];
+      ]
+      (fun (name, g) ->
+        let phi =
+          if Graph.n g <= 14 then Spectral.Conductance.exact g
+          else
+            (Spectral.Sweep_cut.combined_cut g ~iters:400 ~seed:25).conductance
+        in
+        match Spectral.Random_walk.mixing_time g ~max_t:200_000 with
+        | None -> []
+        | Some tmix ->
+            let n = float_of_int (Graph.n g) in
+            let lower = 1. /. phi in
+            let upper = log n /. (phi *. phi) in
+            [
+              [
+                name; i (Graph.n g); f4 phi; i tmix;
+                f2 (float_of_int tmix /. lower);
+                f3 (float_of_int tmix /. upper);
+              ];
+            ])
+  in
   print_table
     ~title:"E10: mixing time sandwich (tmix/(1/Phi) >= c, tmix/(log n/Phi^2) <= C)"
     ~header:[ "graph"; "n"; "Phi"; "tau_mix"; "vs 1/Phi"; "vs log n/Phi^2" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E11 - the LOCAL-CONGEST gap itself: gathering cost comparison        *)
@@ -584,9 +584,15 @@ let e11 () =
   note "claim: the LOCAL baseline (BFS convergecast) needs few rounds but\n";
   note "Theta(|E_i| log n)-bit messages; Lemma 2.4 random-walk routing stays\n";
   note "within the O(log n)-bit CONGEST budget at a poly overhead in rounds\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, g, eps) ->
+  let rows =
+    grid
+      [
+        ("apollonian", Generators.random_apollonian 128 ~seed:28, 0.3);
+        ("grid", Workloads.grid_of 144, 0.3);
+        ("tree", Generators.random_tree 128 ~seed:29, 0.3);
+        ("blob-chain", Generators.blob_chain ~blobs:8 ~blob_size:16 ~seed:30, 0.3);
+      ]
+      (fun (name, g, eps) ->
       let d = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
       let view = Distr.Cluster_view.of_labels g d.labels in
       (* max cluster diameter, for round budgets *)
@@ -618,7 +624,7 @@ let e11 () =
         else congest_gather (walk_len * 2) (attempts + 1)
       in
       let congest = congest_gather 256 0 in
-      rows :=
+      [
         [
           name; i (Graph.n g); i d.k; i diam;
           i local.rounds; i local.max_message_bits;
@@ -628,21 +634,16 @@ let e11 () =
           f1
             (float_of_int local.max_message_bits
             /. float_of_int (max 1 congest.routing_stats.Congest.Network.max_edge_bits));
-        ]
-        :: !rows)
-    [
-      ("apollonian", Generators.random_apollonian 128 ~seed:28, 0.3);
-      ("grid", Workloads.grid_of 144, 0.3);
-      ("tree", Generators.random_tree 128 ~seed:29, 0.3);
-      ("blob-chain", Generators.blob_chain ~blobs:8 ~blob_size:16 ~seed:30, 0.3);
-    ];
+        ];
+      ])
+  in
   print_table
     ~title:
       "E11: gathering, LOCAL convergecast vs CONGEST random walks (bits = per edge per round)"
     ~header:
       [ "family"; "n"; "k"; "diam"; "LOCAL rounds"; "LOCAL bits";
         "CONGEST rounds"; "CONGEST bits"; "budget"; "bits gap" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E12 - distributed decomposition: measured rounds vs the charge       *)
@@ -653,35 +654,36 @@ let e12 () =
   note "claim: a genuinely distributed construction (every step simulated within\n";
   note "the CONGEST bandwidth) matches the oracle's quality; measured rounds are\n";
   note "compared against the Theorem 2.1 charge used elsewhere\n";
-  let rows = ref [] in
-  List.iter
-    (fun (name, g, eps) ->
-      let dd = Distr.Distributed_decomposition.decompose g ~epsilon:eps in
-      let inter_ok, worst = Distr.Distributed_decomposition.verify g dd in
-      let oracle = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
-      let _, oworst = Spectral.Expander_decomposition.verify g oracle in
-      let charge = Core.Pipeline.construction_charge ~n:(Graph.n g) ~epsilon:eps in
-      rows :=
+  let rows =
+    grid
+      [
+        ("path", Generators.path 64, 0.3);
+        ("tree", Generators.random_tree 128 ~seed:35, 0.3);
+        ("blob-chain", Generators.blob_chain ~blobs:8 ~blob_size:12 ~seed:36, 0.4);
+        ("grid", Workloads.grid_of 100, 0.3);
+        ("apollonian", Generators.random_apollonian 96 ~seed:37, 0.3);
+        ("barbell", Generators.barbell 10 2, 0.2);
+      ]
+      (fun (name, g, eps) ->
+        let dd = Distr.Distributed_decomposition.decompose g ~epsilon:eps in
+        let inter_ok, worst = Distr.Distributed_decomposition.verify g dd in
+        let oracle = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
+        let _, oworst = Spectral.Expander_decomposition.verify g oracle in
+        let charge = Core.Pipeline.construction_charge ~n:(Graph.n g) ~epsilon:eps in
         [
-          name; i (Graph.n g); f2 eps;
-          i dd.k; i oracle.k;
-          pct
-            (float_of_int (List.length dd.inter_edges)
-            /. float_of_int (max 1 (Graph.m g)));
-          (if inter_ok then "yes" else "NO");
-          f4 worst; f4 oworst;
-          i dd.levels; i dd.total_rounds; i charge;
-          i dd.max_edge_bits;
-        ]
-        :: !rows)
-    [
-      ("path", Generators.path 64, 0.3);
-      ("tree", Generators.random_tree 128 ~seed:35, 0.3);
-      ("blob-chain", Generators.blob_chain ~blobs:8 ~blob_size:12 ~seed:36, 0.4);
-      ("grid", Workloads.grid_of 100, 0.3);
-      ("apollonian", Generators.random_apollonian 96 ~seed:37, 0.3);
-      ("barbell", Generators.barbell 10 2, 0.2);
-    ];
+          [
+            name; i (Graph.n g); f2 eps;
+            i dd.k; i oracle.k;
+            pct
+              (float_of_int (List.length dd.inter_edges)
+              /. float_of_int (max 1 (Graph.m g)));
+            (if inter_ok then "yes" else "NO");
+            f4 worst; f4 oworst;
+            i dd.levels; i dd.total_rounds; i charge;
+            i dd.max_edge_bits;
+          ];
+        ])
+  in
   print_table
     ~title:
       "E12: distributed construction vs centralized oracle (k, conductance) and vs the round charge"
@@ -689,7 +691,7 @@ let e12 () =
       [ "family"; "n"; "eps"; "k(dist)"; "k(oracle)"; "inter"; "in budget";
         "minCond(dist)"; "minCond(oracle)"; "levels"; "rounds"; "charge";
         "max bits" ]
-    (List.rev !rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E13 - extensions: weighted MIS, dominating set, vertex cover         *)
@@ -700,63 +702,68 @@ let e13 () =
   note "measured quality of the framework on the Section 1.1 / 1.4 problem\n";
   note "variants; no (1-eps) guarantee is claimed for these (see DESIGN.md)\n";
   (* weighted MIS vs exact on solvable sizes *)
-  let rows = ref [] in
-  List.iter
-    (fun (name, g, seed) ->
-      let n = Graph.n g in
-      let st = Random.State.make [| seed; 6151 |] in
-      let weights = Array.init n (fun _ -> 1 + Random.State.int st 30) in
-      let r =
-        Core.App_mis.run_weighted ~mode:charged ~exact_limit:100 g ~weights
-          ~epsilon:0.3 ~seed
-      in
-      let opt =
-        Optimize.Mis.weight_of weights (Optimize.Mis.exact_weighted g weights)
-      in
-      rows :=
+  let wmis_rows =
+    grid
+      [
+        ("apollonian", Generators.random_apollonian 60 ~seed:40, 40);
+        ("grid", Workloads.grid_of 49, 41);
+        ("blob-chain", Generators.blob_chain ~blobs:5 ~blob_size:12 ~seed:42, 42);
+      ]
+      (fun (name, g, seed) ->
+        let n = Graph.n g in
+        let st = Random.State.make [| seed; 6151 |] in
+        let weights = Array.init n (fun _ -> 1 + Random.State.int st 30) in
+        let r =
+          Core.App_mis.run_weighted ~mode:charged ~exact_limit:100 g ~weights
+            ~epsilon:0.3 ~seed
+        in
+        let opt =
+          Optimize.Mis.weight_of weights (Optimize.Mis.exact_weighted g weights)
+        in
         [
-          "weighted-MIS"; name; i n; i r.total_weight; i opt;
-          f3 (float_of_int r.total_weight /. float_of_int (max 1 opt));
-        ]
-        :: !rows)
-    [
-      ("apollonian", Generators.random_apollonian 60 ~seed:40, 40);
-      ("grid", Workloads.grid_of 49, 41);
-      ("blob-chain", Generators.blob_chain ~blobs:5 ~blob_size:12 ~seed:42, 42);
-    ];
+          [
+            "weighted-MIS"; name; i n; i r.total_weight; i opt;
+            f3 (float_of_int r.total_weight /. float_of_int (max 1 opt));
+          ];
+        ])
+  in
   (* dominating set *)
-  List.iter
-    (fun (name, g, seed) ->
-      let r = Core.App_covering.dominating_set ~mode:charged g ~epsilon:0.3 ~seed in
-      let opt = Optimize.Dominating.exact_size g in
-      rows :=
+  let dom_rows =
+    grid
+      [
+        ("grid", Generators.grid 6 6, 43);
+        ("tree", Generators.random_tree 60 ~seed:44, 44);
+        ("outerplanar", Generators.random_maximal_outerplanar 50 ~seed:45, 45);
+      ]
+      (fun (name, g, seed) ->
+        let r = Core.App_covering.dominating_set ~mode:charged g ~epsilon:0.3 ~seed in
+        let opt = Optimize.Dominating.exact_size g in
         [
-          "dominating-set"; name; i (Graph.n g); i r.size; i opt;
-          f3 (float_of_int r.size /. float_of_int (max 1 opt));
-        ]
-        :: !rows)
-    [
-      ("grid", Generators.grid 6 6, 43);
-      ("tree", Generators.random_tree 60 ~seed:44, 44);
-      ("outerplanar", Generators.random_maximal_outerplanar 50 ~seed:45, 45);
-    ];
+          [
+            "dominating-set"; name; i (Graph.n g); i r.size; i opt;
+            f3 (float_of_int r.size /. float_of_int (max 1 opt));
+          ];
+        ])
+  in
   (* vertex cover *)
-  List.iter
-    (fun (name, g, seed) ->
-      let r = Core.App_covering.vertex_cover ~mode:charged g ~epsilon:0.3 ~seed in
-      let opt = Optimize.Vertex_cover.exact_size g in
-      rows :=
+  let vc_rows =
+    grid
+      [
+        ("grid", Generators.grid 10 10, 46);
+        ("apollonian", Generators.random_apollonian 120 ~seed:47, 47);
+        ("blob-chain", Generators.blob_chain ~blobs:10 ~blob_size:12 ~seed:48, 48);
+      ]
+      (fun (name, g, seed) ->
+        let r = Core.App_covering.vertex_cover ~mode:charged g ~epsilon:0.3 ~seed in
+        let opt = Optimize.Vertex_cover.exact_size g in
         [
-          "vertex-cover"; name; i (Graph.n g); i r.size; i opt;
-          f3 (float_of_int r.size /. float_of_int (max 1 opt));
-        ]
-        :: !rows)
-    [
-      ("grid", Generators.grid 10 10, 46);
-      ("apollonian", Generators.random_apollonian 120 ~seed:47, 47);
-      ("blob-chain", Generators.blob_chain ~blobs:10 ~blob_size:12 ~seed:48, 48);
-    ];
+          [
+            "vertex-cover"; name; i (Graph.n g); i r.size; i opt;
+            f3 (float_of_int r.size /. float_of_int (max 1 opt));
+          ];
+        ])
+  in
   print_table
     ~title:"E13: extension problems, framework vs exact (ratio: min problems want <= 1+eps, max problems >= 1-eps)"
     ~header:[ "problem"; "family"; "n"; "framework"; "exact"; "ratio" ]
-    (List.rev !rows)
+    (wmis_rows @ dom_rows @ vc_rows)

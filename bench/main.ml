@@ -1,9 +1,16 @@
 (* Benchmark harness: regenerates every experiment table (E1-E9, see
    DESIGN.md section 3) and runs the Bechamel timing micro-benchmarks.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- e6      # one experiment
-     dune exec bench/main.exe -- timing  # only the timing benches *)
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- e6           # one experiment
+     dune exec bench/main.exe -- timing       # only the timing benches
+     dune exec bench/main.exe -- e8 --jobs 4  # grid points on 4 domains
+
+   --jobs N (or the EXPANDER_JOBS environment variable) sets the worker
+   pool for the grid points inside each experiment; the default is
+   Domain.recommended_domain_count and --jobs 1 forces the sequential
+   path. Tables are byte-identical at every jobs value. Wall-clock per
+   experiment is recorded in BENCH_parallel.json. *)
 
 open Sparse_graph
 
@@ -130,27 +137,58 @@ let experiments =
     ("timing", timing);
   ]
 
+let write_timings_json path ~jobs timings =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"experiments\": [\n" jobs;
+  List.iteri
+    (fun idx (name, seconds) ->
+      Printf.fprintf oc "    {\"name\": %S, \"seconds\": %.3f}%s\n" name
+        seconds
+        (if idx = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 let () =
-  let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  (* split --jobs N off the experiment selection *)
+  let rec parse_args acc jobs = function
+    | [] -> (List.rev acc, jobs)
+    | "--jobs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 -> parse_args acc (Some j) rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+            exit 1)
+    | "--jobs" :: [] ->
+        Printf.eprintf "--jobs expects a value\n";
+        exit 1
+    | name :: rest -> parse_args (name :: acc) jobs rest
   in
+  let names, jobs_flag = parse_args [] None (List.tl (Array.to_list Sys.argv)) in
+  let jobs =
+    match jobs_flag with Some j -> j | None -> Parallel.Pool.default_jobs ()
+  in
+  Experiments.pool := Parallel.Pool.create ~jobs ();
+  let selected = if names = [] then List.map fst experiments else names in
   print_endline
     "Benchmark harness: Chang & Su, 'Narrowing the LOCAL-CONGEST Gaps in";
   print_endline
     "Sparse Networks via Expander Decompositions' (PODC 2022) reproduction.";
+  Printf.printf "[worker pool: %d job%s]\n" jobs (if jobs = 1 then "" else "s");
+  let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
           let t0 = Unix.gettimeofday () in
           f ();
-          Printf.printf "[%s finished in %.1fs]\n" name
-            (Unix.gettimeofday () -. t0)
+          let dt = Unix.gettimeofday () -. t0 in
+          timings := (name, dt) :: !timings;
+          Printf.printf "[%s finished in %.1fs]\n" name dt
       | None ->
           Printf.eprintf
             "unknown experiment %S (available: %s)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    selected
+    selected;
+  write_timings_json "BENCH_parallel.json" ~jobs (List.rev !timings)

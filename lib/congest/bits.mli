@@ -1,6 +1,11 @@
 (** Declared bit sizes for messages, in the paper's O(log n)-bits-per-word
     accounting. *)
 
+(** [ceil_log2 n] is [ceil(log2 (max n 2))], computed with integer
+    arithmetic so it is exact at powers of two (the floating-point
+    [ceil (log n /. log 2.)] is off by one at e.g. [n = 2^29]). *)
+val ceil_log2 : int -> int
+
 (** Bits needed for a vertex id in an n-vertex network:
     [ceil(log2 (max n 2))]. *)
 val id_bits : int -> int

@@ -2,9 +2,7 @@ open Sparse_graph
 
 type bandwidth = Congest of int | Local
 
-let congest_bandwidth ?(c = 8) n =
-  let bits = int_of_float (ceil (log (float_of_int (max n 2)) /. log 2.)) in
-  Congest (c * max 1 bits)
+let congest_bandwidth ?(c = 8) n = Congest (c * Bits.id_bits n)
 
 exception Congestion_violation of {
   round : int;
@@ -57,6 +55,25 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
   let last_traffic = ref 0 in
   let rounds = ref 0 in
   let live = ref n in
+  (* scratch for the per-directed-edge bandwidth accounting, reused across
+     vertices and rounds; [touched] lists the destinations to reset *)
+  let edge_bits = Array.make n 0 in
+  let touched = ref [] in
+  let is_neighbor v w =
+    (* binary search in the vertex's sorted neighbor row; avoids the
+       per-message incidence lookup in the graph *)
+    let row = ctxs.(v).neighbors in
+    let lo = ref 0 and hi = ref (Array.length row - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = row.(mid) in
+      if x = w then found := true
+      else if x < w then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
   while !live > 0 && !rounds < max_rounds do
     incr rounds;
     let r = !rounds in
@@ -72,27 +89,27 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
         inboxes.(v) <- [];
         let step = round r ctxs.(v) states.(v) inbox in
         states.(v) <- step.state;
+        (* a halting vertex's final sends still go out this round *)
+        outgoing.(v) <- step.send;
         if step.halt then begin
           halted.(v) <- true;
           decr live
         end
-        else outgoing.(v) <- step.send
       end
       else inboxes.(v) <- []
     done;
     for v = 0 to n - 1 do
       (* enforce bandwidth per directed edge (v -> w) *)
-      let per_dst = Hashtbl.create 4 in
       List.iter
         (fun (w, msg) ->
-          if not (Graph.mem_edge g v w) then
+          if not (is_neighbor v w) then
             invalid_arg
               (Printf.sprintf "Network.run: vertex %d sent to non-neighbor %d"
                  v w);
           let bits = msg_bits msg in
-          let sofar = try Hashtbl.find per_dst w with Not_found -> 0 in
-          let now = sofar + bits in
-          Hashtbl.replace per_dst w now;
+          if edge_bits.(w) = 0 then touched := w :: !touched;
+          let now = edge_bits.(w) + bits in
+          edge_bits.(w) <- now;
           (match bandwidth with
           | Local -> ()
           | Congest budget ->
@@ -105,7 +122,9 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
           incr messages;
           last_traffic := r;
           if not halted.(w) then inboxes.(w) <- (v, msg) :: inboxes.(w))
-        outgoing.(v)
+        outgoing.(v);
+      List.iter (fun w -> edge_bits.(w) <- 0) !touched;
+      touched := []
     done
   done;
   ( states,

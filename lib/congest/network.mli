@@ -18,7 +18,8 @@
 type bandwidth = Congest of int | Local
 
 (** [congest_bandwidth ?c n] is [c * ceil(log2 (max n 2))] bits (default
-    [c = 8], a conventional constant). *)
+    [c = 8], a conventional constant), computed with integer bit counting
+    ({!Bits.ceil_log2}) so the budget is exact at powers of two. *)
 val congest_bandwidth : ?c:int -> int -> bandwidth
 
 exception Congestion_violation of {
@@ -37,9 +38,11 @@ type ctx = {
 }
 
 (** One vertex's round outcome: new state, outgoing messages as
-    [(neighbor, message)] pairs, and whether the vertex halts. A halted
-    vertex sends nothing and its state no longer changes; messages arriving
-    at a halted vertex are dropped. *)
+    [(neighbor, message)] pairs, and whether the vertex halts. The messages
+    a vertex sends in its halting round are still delivered (they were sent
+    before it stopped); from the next round on it sends nothing and its
+    state no longer changes. Messages arriving at an already-halted vertex
+    are dropped. *)
 type ('state, 'msg) step = {
   state : 'state;
   send : (int * 'msg) list;

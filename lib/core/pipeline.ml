@@ -43,15 +43,25 @@ let construction_charge_deterministic ~n ~epsilon =
   int_of_float
     (ceil ((2. ** sqrt (logn *. loglogn)) /. (epsilon *. epsilon)))
 
-(* diameter bound b for flood phases: max strong diameter over clusters *)
-let cluster_diameter_bound g labels k =
+(* Cluster geometry (sorted members, induced subgraph, mapping), built once
+   per prepare and shared between the diameter bound and the cluster
+   records; independent clusters build on the pool. *)
+let cluster_geometry pool g labels k =
   let members = Array.make k [] in
-  Array.iteri (fun v l -> members.(l) <- v :: members.(l)) labels;
-  Array.fold_left
-    (fun acc vs ->
-      let sub, _ = Graph_ops.induced_subgraph g vs in
-      max acc (Traversal.diameter sub))
-    1 members
+  for v = Array.length labels - 1 downto 0 do
+    members.(labels.(v)) <- v :: members.(labels.(v))
+  done;
+  Parallel.Pool.map pool
+    (fun vs ->
+      let sub, mapping = Graph_ops.induced_subgraph g vs in
+      (vs, sub, mapping))
+    members
+
+(* diameter bound b for flood phases: max strong diameter over clusters *)
+let cluster_diameter_bound pool geometry =
+  Parallel.Pool.map_reduce pool
+    ~map:(fun (_, sub, _) -> Traversal.diameter sub)
+    ~reduce:max ~init:1 geometry
 
 (* central leader choice, matching the distributed election's rule: max
    intra-cluster degree, ties to the larger id *)
@@ -68,24 +78,24 @@ let central_leaders (view : Distr.Cluster_view.t) =
   done;
   Array.init n (fun v -> snd (Hashtbl.find best view.labels.(v)))
 
-let build_clusters g (view : Distr.Cluster_view.t) leader_of k =
-  let members = Array.make k [] in
-  Array.iteri
-    (fun v l -> members.(l) <- v :: members.(l))
-    view.labels;
+let build_clusters geometry leader_of =
   Array.map
-    (fun vs ->
-      let vs = List.sort compare vs in
-      let sub, mapping = Graph_ops.induced_subgraph g vs in
+    (fun (vs, sub, mapping) ->
       let leader = leader_of.(List.hd vs) in
       { leader; members = vs; sub; mapping })
-    members
+    geometry
 
-let prepare ?(mode = Simulated) g ~epsilon ~seed =
+let prepare ?(mode = Simulated) ?(pool = Parallel.Pool.sequential) g ~epsilon
+    ~seed =
   let n = Graph.n g in
-  let decomposition = Spectral.Expander_decomposition.decompose g ~epsilon in
+  let decomposition =
+    Spectral.Expander_decomposition.decompose ~pool g ~epsilon
+  in
   let view = Distr.Cluster_view.of_labels g decomposition.labels in
-  let b = cluster_diameter_bound g decomposition.labels decomposition.k in
+  let geometry =
+    cluster_geometry pool g decomposition.labels decomposition.k
+  in
+  let b = cluster_diameter_bound pool geometry in
   let charged = construction_charge ~n ~epsilon in
   let inter = List.length decomposition.inter_edges in
   let base_report =
@@ -109,7 +119,7 @@ let prepare ?(mode = Simulated) g ~epsilon ~seed =
   match mode with
   | Charged ->
       let leader_of = central_leaders view in
-      let clusters = build_clusters g view leader_of decomposition.k in
+      let clusters = build_clusters geometry leader_of in
       { graph = g; decomposition; view; leader_of; clusters;
         report = base_report }
   | Simulated ->
@@ -133,7 +143,7 @@ let prepare ?(mode = Simulated) g ~epsilon ~seed =
       let logn = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.)) in
       let initial_budget = max 64 (4 * b * b * logn) in
       let gather = gather_with initial_budget 0 in
-      let clusters = build_clusters g view leader_of decomposition.k in
+      let clusters = build_clusters geometry leader_of in
       let simulated_rounds =
         election.stats.Congest.Network.rounds
         + gather.orientation_stats.Congest.Network.rounds

@@ -51,13 +51,17 @@ type t = {
   report : report;
 }
 
-(** [prepare ?mode g ~epsilon ~seed] runs decomposition, election, and
-    gathering. In [Simulated] mode (default) the phases run on the CONGEST
-    simulator; gathering retries with doubled walk budgets until complete.
+(** [prepare ?mode ?pool g ~epsilon ~seed] runs decomposition, election,
+    and gathering. In [Simulated] mode (default) the phases run on the
+    CONGEST simulator; gathering retries with doubled walk budgets until
+    complete. The decomposition recursion, the per-cluster subgraph
+    construction, and the diameter bound fan out on [pool] (default
+    sequential); the result is identical for every pool size.
     @raise Failure if simulated gathering cannot complete within the
     largest budget (does not occur on certified decompositions). *)
 val prepare :
-  ?mode:mode -> Sparse_graph.Graph.t -> epsilon:float -> seed:int -> t
+  ?mode:mode -> ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t ->
+  epsilon:float -> seed:int -> t
 
 (** [solve_locally t f] runs [f] on every cluster (the leader's local
     computation) and returns the per-cluster results. *)

@@ -1,0 +1,75 @@
+type t = { jobs : int }
+
+let sequential = { jobs = 1 }
+
+let default_jobs () =
+  match Sys.getenv_opt "EXPANDER_JOBS" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  { jobs = max 1 jobs }
+
+let jobs t = t.jobs
+
+(* Worker domains set this flag so that nested maps run inline: the live
+   domain count is bounded by the outermost pool's [jobs]. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let mapi pool f arr =
+  let n = Array.length arr in
+  let workers = min pool.jobs n in
+  if workers <= 1 || Domain.DLS.get in_worker then Array.mapi f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f i arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+      done
+    in
+    let domains =
+      Array.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              work ()))
+    in
+    (* the calling domain is a worker too; flag it so its tasks also treat
+       nested maps as sequential *)
+    Domain.DLS.set in_worker true;
+    let caller_error = match work () with () -> None | exception e -> Some e in
+    Domain.DLS.set in_worker false;
+    Array.iter Domain.join domains;
+    (match caller_error with Some e -> raise e | None -> ());
+    (* deterministic error choice: lowest-indexed failing task wins *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map pool f arr = mapi pool (fun _ x -> f x) arr
+
+let map_list pool f l = Array.to_list (map pool f (Array.of_list l))
+
+let map_reduce pool ~map:f ~reduce ~init arr =
+  Array.fold_left reduce init (map pool f arr)
+
+(* splitmix64-style finalizer: decorrelates seeds that differ in one bit.
+   The multipliers are the 63-bit truncations of the usual constants. *)
+let derive_seed base salt =
+  let mix z =
+    let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+    let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+    z lxor (z lsr 31)
+  in
+  mix (base + (salt * 0x1e3779b97f4a7c15)) land max_int

@@ -1,0 +1,56 @@
+(** Fixed-size [Domain]-based worker pool with deterministic fork/join maps.
+
+    A pool is a worker-count budget: [map]/[mapi]/[map_reduce] fan the task
+    array out over at most [jobs] domains (the calling domain included) and
+    join before returning. Results are written into a slot chosen by task
+    index, and reductions fold the per-task results sequentially in index
+    order, so the output is bit-identical to a sequential run no matter how
+    the scheduler interleaves the workers.
+
+    Determinism contract: provided each task function is a pure function of
+    its input (no shared mutable state, no global RNG — derive per-task
+    randomness from the task's identity with {!derive_seed}), every call
+    with the same inputs returns the same outputs for every [jobs] value.
+
+    Nested calls are safe and bounded: a [map] issued from inside a pool
+    worker runs sequentially inline, so the total number of live domains
+    never exceeds the outermost pool's [jobs]. *)
+
+type t
+
+(** The one-worker pool: every map runs inline in the calling domain and
+    spawns nothing. *)
+val sequential : t
+
+(** [default_jobs ()] is the [EXPANDER_JOBS] environment variable when it
+    parses as a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [create ?jobs ()] makes a pool of [jobs] workers (default
+    {!default_jobs}; values below 1 are clamped to 1). Pools hold no live
+    domains between calls, so they need no teardown. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [mapi pool f arr] is [Array.mapi f arr] computed on the pool. If a task
+    raises, the exception of the lowest-indexed failing task is re-raised
+    after all workers join. *)
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list pool f l] is [List.map f l] computed on the pool. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce pool ~map ~reduce ~init arr] folds the mapped results in
+    task-index order: [reduce (... (reduce init (map a0)) ...) (map an)]. *)
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+
+(** [derive_seed base salt] mixes a base seed with a task identity (an
+    index, a vertex id, a recursion depth — anything stable across runs)
+    into an independent non-negative stream seed. Use it to give each
+    parallel task its own deterministic randomness. *)
+val derive_seed : int -> int -> int

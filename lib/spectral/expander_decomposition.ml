@@ -19,8 +19,10 @@ let default_params = { power_iters = 120; exact_limit = 14; seed = 0 }
 
 (* Split one cluster (given as an induced subgraph) if its best sweep cut is
    below tau; returns the two sides in original-vertex ids, or None if the
-   cluster is accepted as a phi-expander. *)
-let try_split params sub (mapping : Graph_ops.mapping) tau depth =
+   cluster is accepted as a phi-expander. [seed] drives the power iteration
+   and must be a pure function of the cluster's identity (see [task_seed])
+   so that parallel and sequential runs agree bit for bit. *)
+let try_split params sub (mapping : Graph_ops.mapping) tau ~seed =
   let n = Graph.n sub in
   if n < 2 then None
   else if Graph.m sub = 0 then begin
@@ -42,15 +44,22 @@ let try_split params sub (mapping : Graph_ops.mapping) tau depth =
       if phi_exact >= tau then None else split_along side
     end
     else begin
-      let cut =
-        Sweep_cut.combined_cut sub ~iters:params.power_iters
-          ~seed:(params.seed + (31 * depth) + n)
-      in
+      let cut = Sweep_cut.combined_cut sub ~iters:params.power_iters ~seed in
       if cut.conductance >= tau then None else split_along cut.side
     end
   end
 
-let decompose ?(params = default_params) g ~epsilon =
+(* One node of the recursion task graph: a candidate cluster, identified by
+   the path of child ranks from the root. Tasks on the frontier share no
+   state, so each level runs on the pool; accepted clusters are sorted by
+   path afterwards, which is exactly the DFS pre-order a sequential
+   left-to-right recursion would label them in. *)
+type task = { rev_path : int list; depth : int; vs : int list }
+
+type outcome = Accept | Drop | Split of int list list
+
+let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
+    ~epsilon =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Expander_decomposition.decompose: need 0 < epsilon < 1";
   let n = Graph.n g in
@@ -59,39 +68,73 @@ let decompose ?(params = default_params) g ~epsilon =
     if m = 0 then epsilon
     else epsilon /. (2. *. (log (float_of_int (2 * m)) /. log 2.))
   in
+  (* per-task seed from the cluster's identity (recursion depth, smallest
+     member, size), never from global mutable state *)
+  let task_seed ~depth ~anchor ~sub_n =
+    Parallel.Pool.derive_seed params.seed
+      ((depth * 1_000_003) lxor (anchor * 8191) lxor sub_n)
+  in
+  let step t =
+    match t.vs with
+    | [] -> Drop
+    | [ _ ] -> Accept
+    | vs ->
+        let sub, mapping = Graph_ops.induced_subgraph g vs in
+        (* a cut may disconnect the subgraph; re-split by components *)
+        (match Traversal.component_list sub with
+        | [] -> Drop
+        | [ _ ] -> (
+            let seed =
+              task_seed ~depth:t.depth ~anchor:(List.hd vs)
+                ~sub_n:(Graph.n sub)
+            in
+            match try_split params sub mapping tau ~seed with
+            | None -> Accept
+            | Some (left, right) -> Split [ left; right ])
+        | many ->
+            Split
+              (List.map
+                 (fun comp -> List.map (fun v -> mapping.to_orig.(v)) comp)
+                 many))
+  in
+  let accepted = ref [] in
+  let frontier =
+    ref
+      (List.mapi
+         (fun i vs -> { rev_path = [ i ]; depth = 0; vs })
+         (Traversal.component_list g))
+  in
+  while !frontier <> [] do
+    let tasks = Array.of_list !frontier in
+    let outcomes = Parallel.Pool.map pool step tasks in
+    let next = ref [] in
+    Array.iteri
+      (fun i outcome ->
+        let t = tasks.(i) in
+        match outcome with
+        | Accept -> accepted := (List.rev t.rev_path, t.vs) :: !accepted
+        | Drop -> ()
+        | Split children ->
+            List.iteri
+              (fun j vs ->
+                next :=
+                  { rev_path = j :: t.rev_path; depth = t.depth + 1; vs }
+                  :: !next)
+              children)
+      outcomes;
+    frontier := List.rev !next
+  done;
+  let accepted =
+    List.sort (fun (p1, _) (p2, _) -> compare (p1 : int list) p2) !accepted
+  in
   let labels = Array.make n (-1) in
   let next_label = ref 0 in
-  let accept vs =
-    let l = !next_label in
-    incr next_label;
-    List.iter (fun v -> labels.(v) <- l) vs
-  in
-  (* process connected pieces independently; recursion by explicit stack *)
-  let stack = ref (Traversal.component_list g) in
-  let rec drain () =
-    match !stack with
-    | [] -> ()
-    | vs :: rest ->
-        stack := rest;
-        (match vs with
-        | [] -> ()
-        | [ v ] -> accept [ v ]
-        | _ ->
-            let sub, mapping = Graph_ops.induced_subgraph g vs in
-            (* a cut may disconnect the subgraph; re-split by components *)
-            let comps = Traversal.component_list sub in
-            (match comps with
-            | [] -> ()
-            | [ _ ] -> (
-                match try_split params sub mapping tau !next_label with
-                | None -> accept vs
-                | Some (left, right) -> stack := left :: right :: !stack)
-            | many ->
-                let lift comp = List.map (fun v -> mapping.to_orig.(v)) comp in
-                stack := List.map lift many @ !stack));
-        drain ()
-  in
-  drain ();
+  List.iter
+    (fun (_, vs) ->
+      let l = !next_label in
+      incr next_label;
+      List.iter (fun v -> labels.(v) <- l) vs)
+    accepted;
   let inter_edges =
     Graph.fold_edges g
       (fun acc e u v -> if labels.(u) <> labels.(v) then e :: acc else acc)
@@ -112,28 +155,38 @@ let inter_fraction g t =
   if m = 0 then 0.
   else float_of_int (List.length t.inter_edges) /. float_of_int m
 
-let clusters g t = fst (Graph_ops.cluster_partition g t.labels t.k)
+let clusters ?(pool = Parallel.Pool.sequential) g t =
+  let members = Array.make t.k [] in
+  for v = Graph.n g - 1 downto 0 do
+    members.(t.labels.(v)) <- v :: members.(t.labels.(v))
+  done;
+  Parallel.Pool.map pool
+    (fun vs ->
+      let sub, mapping = Graph_ops.induced_subgraph g vs in
+      (vs, sub, mapping))
+    members
 
-let verify ?(params = default_params) g t =
+let verify ?(params = default_params) ?(pool = Parallel.Pool.sequential) g t =
   let m = Graph.m g in
   let inter_ok =
     float_of_int (List.length t.inter_edges) <= (t.epsilon *. float_of_int m) +. 1e-9
   in
-  let worst = ref infinity in
-  Array.iter
-    (fun (_, sub, _) ->
-      if Graph.n sub >= 2 && Graph.m sub > 0 then begin
-        let phi =
+  (* per-cluster conductance certification fans out on the pool; the min is
+     folded sequentially in cluster order *)
+  let worst =
+    Parallel.Pool.map_reduce pool
+      ~map:(fun (_, sub, _) ->
+        if Graph.n sub >= 2 && Graph.m sub > 0 then
           if Graph.n sub <= params.exact_limit then Conductance.exact sub
           else
             (Sweep_cut.combined_cut sub ~iters:params.power_iters
                ~seed:params.seed)
               .conductance
-        in
-        if phi < !worst then worst := phi
-      end)
-    (clusters g t);
-  (inter_ok, !worst)
+        else infinity)
+      ~reduce:min ~init:infinity
+      (clusters ~pool g t)
+  in
+  (inter_ok, worst)
 
 let bfs_ball_baseline g ~radius =
   let n = Graph.n g in

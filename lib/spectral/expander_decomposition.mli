@@ -34,17 +34,26 @@ type params = {
 
 val default_params : params
 
-(** [decompose ?params g ~epsilon] computes the decomposition.
+(** [decompose ?params ?pool g ~epsilon] computes the decomposition. The
+    recursion is a task graph: independent clusters on the same frontier
+    are split concurrently on [pool] (default sequential), and labels are
+    assigned afterwards in the DFS pre-order of the recursion tree, so the
+    result is identical for every pool size. Per-split sweep-cut seeds are
+    derived from the cluster's identity (depth, smallest member, size), not
+    from shared state.
     @raise Invalid_argument unless [0 < epsilon < 1]. *)
-val decompose : ?params:params -> Sparse_graph.Graph.t -> epsilon:float -> t
+val decompose :
+  ?params:params -> ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t ->
+  epsilon:float -> t
 
 (** Fraction of edges that are inter-cluster, [|E^r| / m] (0 when m = 0). *)
 val inter_fraction : Sparse_graph.Graph.t -> t -> float
 
-(** [clusters g t] materializes each cluster: vertex list, induced
-    subgraph, and vertex/edge mappings. *)
+(** [clusters ?pool g t] materializes each cluster: vertex list, induced
+    subgraph, and vertex/edge mappings. Independent clusters build on
+    [pool]. *)
 val clusters :
-  Sparse_graph.Graph.t -> t ->
+  ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t -> t ->
   (int list * Sparse_graph.Graph.t * Sparse_graph.Graph_ops.mapping) array
 
 (** [verify g t] checks the two decomposition requirements and returns
@@ -54,7 +63,8 @@ val clusters :
     [exact_limit], sweep-cut upper bound for larger clusters — an upper
     bound can only under-certify, never over-certify). *)
 val verify :
-  ?params:params -> Sparse_graph.Graph.t -> t -> bool * float
+  ?params:params -> ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t -> t ->
+  bool * float
 
 (** Naive baseline for ablation: BFS balls of fixed radius, no conductance
     control. Same result shape, with [phi = 0.]. *)

@@ -178,6 +178,55 @@ let test_bandwidth_helper () =
   | Network.Congest b -> check "minimum one word" 1 b
   | Network.Local -> Alcotest.fail "expected Congest")
 
+(* Regression: the budget at exact powers of two must be c * log2 n, with
+   no float rounding drift. The FP formula ceil(log n / log 2) overshoots
+   at n = 2^29 (log2 returns 29.000000000000004), granting one extra word
+   of bandwidth per edge. *)
+let test_bandwidth_powers_of_two () =
+  let expect n bits =
+    match Network.congest_bandwidth ~c:8 n with
+    | Network.Congest b ->
+        check (Printf.sprintf "budget at n = %d" n) (8 * bits) b
+    | Network.Local -> Alcotest.fail "expected Congest"
+  in
+  expect 2 1;
+  expect 1024 10;
+  expect 4096 12;
+  expect 65536 16;
+  expect (1 lsl 29) 29;
+  (* off-by-one neighborhoods of a power of two *)
+  expect 1023 10;
+  expect 1025 11;
+  expect ((1 lsl 29) - 1) 29;
+  expect ((1 lsl 29) + 1) 30
+
+(* Regression: a vertex's sends in its halting round must still be
+   delivered. The seed simulator assigned [outgoing] only on the
+   non-halting branch, silently discarding the final message; a two-node
+   protocol in which node 0 announces a value and halts immediately would
+   leave node 1 uninformed forever. *)
+let test_halting_round_sends_delivered () =
+  let g = Generators.path 2 in
+  let init _ = -1 in
+  let round r (ctx : Network.ctx) st inbox =
+    if ctx.id = 0 then
+      (* announce 42 and halt in the same round *)
+      { Network.state = 42; send = [ (1, 42) ]; halt = true }
+    else
+      let st = List.fold_left (fun acc (_, x) -> max acc x) st inbox in
+      if st >= 0 || r >= 3 then { Network.state = st; send = []; halt = true }
+      else { Network.state = st; send = []; halt = false }
+  in
+  let states, stats =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 6)
+      ~init ~round ~max_rounds:5
+  in
+  check "node 1 heard the announcement" 42 states.(1);
+  checkb "completed" true stats.Network.completed;
+  (* the halting-round traffic is still accounted *)
+  check "message counted" 1 stats.Network.messages
+
 let test_bits_helper () =
   check "id bits of 1024" 10 (Bits.id_bits 1024);
   check "id bits of 1025" 11 (Bits.id_bits 1025);
@@ -211,6 +260,8 @@ let () =
           tc "halted vertices drop input" test_halted_vertices_drop_messages;
           tc "statistics accounting" test_stats_accounting;
           tc "bandwidth helper" test_bandwidth_helper;
+          tc "bandwidth at powers of two" test_bandwidth_powers_of_two;
+          tc "halting-round sends delivered" test_halting_round_sends_delivered;
           tc "bit accounting helper" test_bits_helper;
           tc "degenerate empty graph" test_empty_graph_run;
         ] );

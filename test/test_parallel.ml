@@ -1,0 +1,176 @@
+(* Worker-pool unit tests plus the parallel/sequential equivalence
+   property: decompose, verify, and Pipeline.prepare ~mode:Charged must
+   produce identical results at every pool size. Run under the @parity
+   alias with EXPANDER_JOBS set to 1 and 4 (see test/dune). *)
+
+open Sparse_graph
+
+let check = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order_and_values () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let arr = Array.init 100 (fun i -> i) in
+  let out = Parallel.Pool.map pool (fun x -> x * x) arr in
+  Array.iteri (fun i v -> check "square in slot" (i * i) v) out;
+  let out1 = Parallel.Pool.map Parallel.Pool.sequential (fun x -> x * x) arr in
+  Alcotest.(check (array int)) "sequential agrees" out1 out
+
+let test_mapi_indices () =
+  let pool = Parallel.Pool.create ~jobs:3 () in
+  let arr = Array.make 17 "x" in
+  let out = Parallel.Pool.mapi pool (fun i s -> (i, s)) arr in
+  Array.iteri (fun i (j, _) -> check "index passed through" i j) out
+
+let test_map_reduce_order () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let arr = Array.init 50 (fun i -> i) in
+  (* non-commutative reduction: list cons. Sequential fold order means the
+     result is exactly the reversed map outputs. *)
+  let folded =
+    Parallel.Pool.map_reduce pool
+      ~map:(fun x -> x * 3)
+      ~reduce:(fun acc v -> v :: acc)
+      ~init:[] arr
+  in
+  Alcotest.(check (list int))
+    "fold in index order"
+    (List.rev (List.init 50 (fun i -> i * 3)))
+    folded
+
+let test_map_list () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let out = Parallel.Pool.map_list pool (fun x -> x + 1) [ 5; 6; 7 ] in
+  Alcotest.(check (list int)) "list map" [ 6; 7; 8 ] out
+
+let test_exception_propagates () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let arr = Array.init 20 (fun i -> i) in
+  match
+    Parallel.Pool.map pool
+      (fun x -> if x = 7 || x = 13 then failwith (string_of_int x) else x)
+      arr
+  with
+  | exception Failure msg ->
+      (* lowest-indexed failure wins, deterministically *)
+      Alcotest.(check string) "first failure re-raised" "7" msg
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_nested_map_runs_inline () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let out =
+    Parallel.Pool.map pool
+      (fun x ->
+        (* a nested map on the same pool must not spawn more domains *)
+        Array.fold_left ( + ) 0
+          (Parallel.Pool.map pool (fun y -> x * y) [| 1; 2; 3 |]))
+      (Array.init 10 (fun i -> i))
+  in
+  Array.iteri (fun i v -> check "nested result" (6 * i) v) out
+
+let test_derive_seed_deterministic () =
+  let a = Parallel.Pool.derive_seed 12345 678 in
+  let b = Parallel.Pool.derive_seed 12345 678 in
+  check "stable" a b;
+  Alcotest.(check bool)
+    "distinct salts give distinct seeds" true
+    (Parallel.Pool.derive_seed 12345 678 <> Parallel.Pool.derive_seed 12345 679);
+  Alcotest.(check bool) "non-negative" true (a >= 0)
+
+let test_default_jobs_env () =
+  (* EXPANDER_JOBS is set by the @parity alias; when present it must win *)
+  match Sys.getenv_opt "EXPANDER_JOBS" with
+  | Some v ->
+      check "env respected" (int_of_string v) (Parallel.Pool.default_jobs ())
+  | None ->
+      Alcotest.(check bool)
+        "positive default" true
+        (Parallel.Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel/sequential equivalence over random graphs                   *)
+(* ------------------------------------------------------------------ *)
+
+let graph_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      (int_range 2 60 >>= fun n ->
+       int_range 0 1000 >>= fun seed ->
+       float_range 0.05 0.35 >>= fun p ->
+       return (Printf.sprintf "er(%d,%.2f,%d)" n p seed,
+               Generators.erdos_renyi n p ~seed));
+      (int_range 2 8 >>= fun r ->
+       int_range 2 8 >>= fun c ->
+       return (Printf.sprintf "grid(%d,%d)" r c, Generators.grid r c));
+      (int_range 4 60 >>= fun n ->
+       int_range 0 1000 >>= fun seed ->
+       return (Printf.sprintf "apollonian(%d,%d)" n seed,
+               Generators.random_apollonian n ~seed));
+    ]
+
+let graph_arb =
+  QCheck.make ~print:(fun (name, _) -> name) graph_gen
+
+let pool4 = lazy (Parallel.Pool.create ~jobs:4 ())
+
+let decompose_equivalence =
+  QCheck.Test.make ~name:"decompose: jobs 1 = jobs 4" ~count:40 graph_arb
+    (fun (_, g) ->
+      let open Spectral.Expander_decomposition in
+      let seq = decompose g ~epsilon:0.3 in
+      let par = decompose ~pool:(Lazy.force pool4) g ~epsilon:0.3 in
+      seq.labels = par.labels && seq.k = par.k
+      && seq.inter_edges = par.inter_edges
+      && seq.phi = par.phi && seq.tau = par.tau)
+
+let verify_equivalence =
+  QCheck.Test.make ~name:"verify: jobs 1 = jobs 4" ~count:25 graph_arb
+    (fun (_, g) ->
+      let open Spectral.Expander_decomposition in
+      let d = decompose g ~epsilon:0.3 in
+      verify g d = verify ~pool:(Lazy.force pool4) g d)
+
+let prepare_equivalence =
+  QCheck.Test.make ~name:"Pipeline.prepare Charged: jobs 1 = jobs 4"
+    ~count:25 graph_arb (fun (_, g) ->
+      let open Core.Pipeline in
+      let a = prepare ~mode:Charged g ~epsilon:0.3 ~seed:7 in
+      let b =
+        prepare ~mode:Charged ~pool:(Lazy.force pool4) g ~epsilon:0.3 ~seed:7
+      in
+      a.leader_of = b.leader_of
+      && a.report = b.report
+      && a.decomposition.Spectral.Expander_decomposition.labels
+         = b.decomposition.Spectral.Expander_decomposition.labels
+      && Array.length a.clusters = Array.length b.clusters
+      && Array.for_all2
+           (fun (x : cluster) (y : cluster) ->
+             x.leader = y.leader && x.members = y.members
+             && Graph.n x.sub = Graph.n y.sub
+             && Graph.m x.sub = Graph.m y.sub)
+           a.clusters b.clusters)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          tc "map preserves order and values" test_map_order_and_values;
+          tc "mapi passes indices" test_mapi_indices;
+          tc "map_reduce folds in index order" test_map_reduce_order;
+          tc "map_list" test_map_list;
+          tc "lowest-indexed exception propagates" test_exception_propagates;
+          tc "nested maps run inline" test_nested_map_runs_inline;
+          tc "derive_seed deterministic" test_derive_seed_deterministic;
+          tc "default_jobs honours EXPANDER_JOBS" test_default_jobs_env;
+        ] );
+      ( "equivalence",
+        [ qt decompose_equivalence; qt verify_equivalence;
+          qt prepare_equivalence ] );
+    ]
