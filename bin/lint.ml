@@ -1,0 +1,116 @@
+(* Determinism & domain-safety linter over lib/, bench/ and bin/.
+
+     dune build @lint                  # full run, fails on new findings
+     dune exec bin/lint.exe -- --format json
+     dune exec bin/lint.exe -- --write-baseline lint.baseline
+
+   Findings are AST-level (compiler-libs Parsetree), reported as
+   file:line:col with a rule id. A finding is silenced either by an
+   inline comment on the same or the preceding line —
+       (* lint: allow D003 timing harness *)
+   — or by an entry in the checked-in baseline file (grandfathered
+   findings; see --write-baseline). *)
+
+let usage () =
+  print_string
+    "usage: lint.exe [options]\n\
+     \  --root DIR        repo root to scan (default .)\n\
+     \  --dirs A,B,C      directories under root (default lib,bench,bin)\n\
+     \  --format FMT      text | json (default text)\n\
+     \  --baseline FILE   baseline of grandfathered findings\n\
+     \  --write-baseline FILE  regenerate the baseline and exit\n\
+     \  --report FILE     also write the JSON report to FILE\n\
+     \  --rules           print the rule catalog and exit\n"
+
+let print_rules () =
+  List.iter
+    (fun (r : Analysis.Rule.t) ->
+      Printf.printf "%s (%s) — %s\n  %s\n" r.id
+        (Analysis.Finding.severity_name r.severity)
+        r.title r.doc)
+    Analysis.Rules.all
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let () =
+  let root = ref "." in
+  let dirs = ref [ "lib"; "bench"; "bin" ] in
+  let format = ref "text" in
+  let baseline_path = ref None in
+  let write_baseline = ref None in
+  let report_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: v :: rest ->
+        root := v;
+        parse rest
+    | "--dirs" :: v :: rest ->
+        dirs := String.split_on_char ',' v;
+        parse rest
+    | "--format" :: v :: rest ->
+        format := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline_path := Some v;
+        parse rest
+    | "--write-baseline" :: v :: rest ->
+        write_baseline := Some v;
+        parse rest
+    | "--report" :: v :: rest ->
+        report_path := Some v;
+        parse rest
+    | "--rules" :: _ ->
+        print_rules ();
+        exit 0
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "lint: unknown argument %S\n" arg;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !format <> "text" && !format <> "json" then begin
+    Printf.eprintf "lint: --format must be text or json, got %S\n" !format;
+    exit 2
+  end;
+  let sources, libraries = Analysis.Engine.load_tree ~root:!root ~dirs:!dirs in
+  if sources = [] then begin
+    Printf.eprintf "lint: no .ml files found under %s (dirs: %s)\n" !root
+      (String.concat ", " !dirs);
+    exit 2
+  end;
+  match !write_baseline with
+  | Some path ->
+      (* regenerate: every finding that is not inline-suppressed gets
+         grandfathered *)
+      let report = Analysis.Engine.analyze ~libraries sources in
+      let kept =
+        List.filter_map
+          (fun (f, st) ->
+            if st = Analysis.Engine.Suppressed then None else Some f)
+          report.Analysis.Engine.results
+      in
+      write_file path (Analysis.Baseline.to_string (Analysis.Baseline.of_findings kept));
+      Printf.printf "lint: wrote %d entr%s to %s\n" (List.length kept)
+        (if List.length kept = 1 then "y" else "ies")
+        path
+  | None ->
+      let baseline =
+        match !baseline_path with
+        | Some p -> Analysis.Baseline.load (Filename.concat !root p)
+        | None -> Analysis.Baseline.empty
+      in
+      let report = Analysis.Engine.analyze ~libraries ~baseline sources in
+      (match !report_path with
+      | Some p -> write_file p (Analysis.Engine.to_json report)
+      | None -> ());
+      print_string
+        (match !format with
+        | "json" -> Analysis.Engine.to_json report
+        | _ -> Analysis.Engine.to_text report);
+      exit (Analysis.Engine.exit_code report)

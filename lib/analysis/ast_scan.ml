@@ -1,0 +1,116 @@
+(* Small shared helpers for walking Parsetrees. Everything here is pure
+   syntax: no typing information is available, so rules that use these
+   helpers are heuristics with deliberately conservative shapes. *)
+
+open Parsetree
+
+let path_of (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let path_str comps = String.concat "." comps
+
+(* strip constraints/coercions/newtypes so shape checks see the payload *)
+let rec peel (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel e
+  | Pexp_newtype (_, e) -> peel e
+  | _ -> e
+
+(* callee of an application, peeled; [f x y] and [f] both give [f] *)
+let head (e : expression) =
+  match (peel e).pexp_desc with Pexp_apply (f, _) -> peel f | _ -> peel e
+
+let suffix_matches comps ~suffix =
+  let lc = List.length comps and ls = List.length suffix in
+  lc >= ls
+  && List.filteri (fun i _ -> i >= lc - ls) comps = suffix
+
+(* visit every expression under a structure (or expression), including
+   nested module bindings *)
+let iter_expressions_str str f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
+let iter_expressions_expr root f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it root
+
+(* all identifier paths mentioned anywhere under [root] *)
+let collect_paths root =
+  let acc = ref [] in
+  iter_expressions_expr root (fun e ->
+      match path_of e with Some p -> acc := p :: !acc | None -> ());
+  List.rev !acc
+
+let pat_var (p : pattern) =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go p
+
+(* leading fun-parameters of a binding body: [fun a ?(b=1) ~c () -> ...] *)
+let params_of (e : expression) =
+  let rec go acc e =
+    match (peel e).pexp_desc with
+    | Pexp_fun (label, _, pat, body) -> go ((label, pat_var pat) :: acc) body
+    | _ -> List.rev acc
+  in
+  go [] e
+
+(* Is [e] syntactically a float-valued expression? Used by H001; only
+   shapes that are unambiguously float count, so plain identifiers never
+   qualify. *)
+let float_fns =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "abs_float"; "sqrt"; "exp"; "log";
+    "log10"; "ceil"; "floor"; "float_of_int"; "float_of_string"; "float";
+    "cos"; "sin"; "tan"; "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "mod_float";
+  ]
+
+let float_consts =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let is_floatish (e : expression) =
+  let e = peel e in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident _ -> (
+      match path_of e with
+      | Some comps ->
+          let last = List.nth comps (List.length comps - 1) in
+          List.mem last float_consts
+      | None -> false)
+  | Pexp_apply (f, _) -> (
+      match path_of (peel f) with
+      | Some [ fn ] -> List.mem fn float_fns
+      | Some ("Float" :: _) -> true
+      | Some comps -> suffix_matches comps ~suffix:[ "Stdlib"; "**" ]
+      | None -> false)
+  | _ -> false
+
+(* [loc_within inner outer]: character-range containment in one file *)
+let loc_within (inner : Location.t) (outer : Location.t) =
+  inner.loc_start.pos_fname = outer.loc_start.pos_fname
+  && inner.loc_start.pos_cnum >= outer.loc_start.pos_cnum
+  && inner.loc_end.pos_cnum <= outer.loc_end.pos_cnum

@@ -1,0 +1,25 @@
+(** Checked-in grandfathered findings. A baseline entry matches a finding
+    by (rule, file, line); matched findings are reported as "baselined"
+    and do not fail the build. The file format is line-oriented:
+
+    {v
+    # comment
+    RULE<TAB>file<TAB>line<TAB>message (informational)
+    v} *)
+
+type t
+
+val empty : t
+
+val parse : string -> t
+
+(** [load path] is [empty] when the file does not exist. *)
+val load : string -> t
+
+val mem : t -> Finding.t -> bool
+
+val of_findings : Finding.t list -> t
+
+val to_string : t -> string
+
+val size : t -> int

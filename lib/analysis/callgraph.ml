@@ -1,0 +1,116 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type def = {
+  qname : string;
+  module_name : string;
+  name : string;
+  loc : Location.t;
+  mutable_kind : string option;
+  params : (Asttypes.arg_label * string option) list;
+  body : Parsetree.expression;
+  refs : string list;
+}
+
+type t = { by_qname : def SMap.t }
+
+(* constructors whose application at a toplevel binding makes the binding
+   shared mutable state (a data race when reached from pooled tasks) *)
+let mutable_ctors =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+  ]
+
+let mutable_kind_of body =
+  let body = Ast_scan.peel body in
+  match body.Parsetree.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match Ast_scan.path_of (Ast_scan.peel f) with
+      | Some comps
+        when List.exists
+               (fun ctor -> Ast_scan.suffix_matches comps ~suffix:ctor)
+               mutable_ctors
+             && List.length comps <= 3 ->
+          Some (Ast_scan.path_str comps)
+      | _ -> None)
+  | _ -> None
+
+let resolve_refs project ~current_module body =
+  let seen = ref SSet.empty in
+  List.iter
+    (fun comps ->
+      match Project.resolve project ~current_module comps with
+      | Some q -> seen := SSet.add q !seen
+      | None -> ())
+    (Ast_scan.collect_paths body);
+  SSet.elements !seen
+
+let build project sources =
+  let by_qname = ref SMap.empty in
+  List.iter
+    (fun ((src : Source.t), str) ->
+      let m = Source.module_name src in
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun (vb : Parsetree.value_binding) ->
+                  match Ast_scan.pat_var vb.pvb_pat with
+                  | None -> ()
+                  | Some name ->
+                      let qname = m ^ "." ^ name in
+                      let d =
+                        {
+                          qname;
+                          module_name = m;
+                          name;
+                          loc = vb.pvb_loc;
+                          mutable_kind = mutable_kind_of vb.pvb_expr;
+                          params = Ast_scan.params_of vb.pvb_expr;
+                          body = vb.pvb_expr;
+                          refs =
+                            resolve_refs project ~current_module:m vb.pvb_expr;
+                        }
+                      in
+                      by_qname := SMap.add qname d !by_qname)
+                vbs
+          | _ -> ())
+        str)
+    sources;
+  { by_qname = !by_qname }
+
+let find t q = SMap.find_opt q t.by_qname
+
+let defs t = List.map snd (SMap.bindings t.by_qname)
+
+let reachable t seeds =
+  let rec go visited = function
+    | [] -> visited
+    | q :: rest ->
+        if SSet.mem q visited then go visited rest
+        else
+          let visited = SSet.add q visited in
+          let next =
+            match find t q with Some d -> d.refs | None -> []
+          in
+          go visited (next @ rest)
+  in
+  SSet.elements (go SSet.empty seeds)
+
+let reachable_mutable t seeds =
+  List.filter_map
+    (fun q ->
+      match find t q with
+      | Some d when d.mutable_kind <> None -> Some d
+      | _ -> None)
+    (reachable t seeds)

@@ -1,0 +1,42 @@
+(** The analysis driver: load sources, run the rule set, fold in
+    suppressions and the baseline, render reports. *)
+
+type status = Fresh | Suppressed | Baselined
+
+type report = {
+  files_scanned : int;
+  results : (Finding.t * status) list;  (** sorted by location *)
+  baseline_size : int;
+}
+
+(** Recursively collect [dirs] (relative to [root]) for [*.ml] files and
+    dune library names. Returns sources (paths relative to [root], sorted)
+    and the (dir -> library-name) map read from dune files. Directories
+    that do not exist are skipped; directory entries starting with ['.']
+    or ['_'] are pruned. *)
+val load_tree :
+  root:string -> dirs:string list -> Source.t list * (string * string) list
+
+(** Run [rules] (default: the full set) over the sources. Suppression
+    comments and the baseline are applied here; parse failures surface as
+    E000 findings. *)
+val analyze :
+  ?rules:Rule.t list ->
+  ?libraries:(string * string) list ->
+  ?baseline:Baseline.t ->
+  Source.t list ->
+  report
+
+val fresh : report -> Finding.t list
+
+(** Per-status counts as (fresh, suppressed, baselined). *)
+val counts : report -> int * int * int
+
+(** Human-readable listing of fresh findings plus a summary line. *)
+val to_text : report -> string
+
+(** Full machine-readable report (all statuses, per-rule counts). *)
+val to_json : report -> string
+
+(** 0 when no fresh findings, 1 otherwise. *)
+val exit_code : report -> int

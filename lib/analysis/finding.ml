@@ -1,0 +1,67 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let at ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let v ~rule ~severity ~loc message =
+  let p = loc.Location.loc_start in
+  at ~rule ~severity ~file:p.Lexing.pos_fname ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    message
+
+let order a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.rule b.rule
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(extra = []) f =
+  let fields =
+    [
+      ("rule", Printf.sprintf "%S" f.rule);
+      ("severity", Printf.sprintf "%S" (severity_name f.severity));
+      ("file", Printf.sprintf "\"%s\"" (json_escape f.file));
+      ("line", string_of_int f.line);
+      ("col", string_of_int f.col);
+      ("message", Printf.sprintf "\"%s\"" (json_escape f.message));
+    ]
+    @ extra
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"

@@ -1,0 +1,43 @@
+(** A single static-analysis finding: one rule firing at one source
+    location. Findings are value types; the engine sorts and dedups them,
+    the reporters render them. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. "D002" *)
+  severity : severity;
+  file : string;  (** path as scanned (repo-relative under the lint root) *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+(** [v ~rule ~severity ~loc msg] places a finding at the start of [loc]. *)
+val v : rule:string -> severity:severity -> loc:Location.t -> string -> t
+
+(** [at ~rule ~severity ~file ~line ~col msg] for locations not tied to a
+    Parsetree node (parse errors, engine-level diagnostics). *)
+val at :
+  rule:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+(** Total order: file, then line, then column, then rule id. *)
+val order : t -> t -> int
+
+val severity_name : severity -> string
+
+(** ["file:line:col: [rule] message"] *)
+val to_text : t -> string
+
+(** One JSON object (no trailing newline); [extra] appends additional
+    pre-rendered fields, e.g. [["status", {|"fresh"|}]]. *)
+val to_json : ?extra:(string * string) list -> t -> string
+
+(** Minimal JSON string escaping (quotes, backslash, control chars). *)
+val json_escape : string -> string

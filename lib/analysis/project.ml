@@ -1,0 +1,86 @@
+module SMap = Map.Make (String)
+
+type entry = { path : string; module_name : string; library : string }
+
+type t = {
+  all : entry list;
+  by_module : entry list SMap.t;
+  wrappers : string SMap.t;  (* "Parallel" -> "parallel" *)
+}
+
+let build ~libraries sources =
+  let library_of_dir dir =
+    match List.assoc_opt dir libraries with
+    | Some name -> name
+    | None -> Filename.basename dir
+  in
+  let all =
+    List.map
+      (fun (s : Source.t) ->
+        {
+          path = s.Source.path;
+          module_name = Source.module_name s;
+          library = library_of_dir (Filename.dirname s.Source.path);
+        })
+      sources
+  in
+  let by_module =
+    List.fold_left
+      (fun acc e ->
+        let cur = Option.value (SMap.find_opt e.module_name acc) ~default:[] in
+        SMap.add e.module_name (e :: cur) acc)
+      SMap.empty all
+  in
+  let wrappers =
+    List.fold_left
+      (fun acc e ->
+        SMap.add (String.capitalize_ascii e.library) e.library acc)
+      SMap.empty all
+  in
+  { all; by_module; wrappers }
+
+let entries t = t.all
+
+let find_module t name =
+  Option.value (SMap.find_opt name t.by_module) ~default:[]
+
+let is_wrapper t name = SMap.find_opt name t.wrappers
+
+let is_value_component s =
+  String.length s > 0 && (s.[0] = Char.lowercase_ascii s.[0])
+
+let resolve t ~current_module comps =
+  match comps with
+  | [ v ] when is_value_component v ->
+      if find_module t current_module <> [] then
+        Some (current_module ^ "." ^ v)
+      else None
+  | _ ->
+      let arr = Array.of_list comps in
+      let n = Array.length arr in
+      let rec scan i restrict_lib =
+        if i >= n - 1 then None
+        else
+          let c = arr.(i) in
+          if is_value_component c then None
+          else
+            let candidates = find_module t c in
+            let candidates =
+              match restrict_lib with
+              | Some lib ->
+                  let inside =
+                    List.filter (fun e -> e.library = lib) candidates
+                  in
+                  if inside <> [] then inside else candidates
+              | None -> candidates
+            in
+            if candidates <> [] && is_value_component arr.(i + 1) then
+              Some (c ^ "." ^ arr.(i + 1))
+            else
+              (* a library wrapper component narrows the next lookup *)
+              scan (i + 1)
+                (match is_wrapper t c with
+                | Some lib -> Some lib
+                | None -> restrict_lib)
+      in
+      scan 0 None

@@ -1,0 +1,21 @@
+(* Rule plumbing: the context handed to every rule and the rule record.
+   Rules see the whole project at once so cross-module rules (P001) and
+   per-file rules share one interface. *)
+
+type ctx = {
+  sources : (Source.t * Parsetree.structure) list;
+  project : Project.t;
+  graph : Callgraph.t;
+}
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  title : string;
+  doc : string;  (* one-paragraph rationale, used by --rules *)
+  check : ctx -> Finding.t list;
+}
+
+(* convenience: run [f] once per parsed source *)
+let per_source ctx f =
+  List.concat_map (fun (src, str) -> f src str) ctx.sources

@@ -1,0 +1,289 @@
+(* D001 global PRNG, D002 unordered-iteration escape, D003 wall clock.
+   These guard the repo's core property: every theorem-level table is a
+   deterministic function of (inputs, seeds), byte-identical at any
+   --jobs value. *)
+
+open Parsetree
+
+let finding = Finding.v ~severity:Finding.Error
+
+(* ------------------------------------------------------------------ *)
+(* D001: global PRNG                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let d001_check ctx =
+  Rule.per_source ctx (fun _src str ->
+      let acc = ref [] in
+      Ast_scan.iter_expressions_str str (fun e ->
+          match Ast_scan.path_of e with
+          | Some [ "Random"; fn ] ->
+              acc :=
+                finding ~rule:"D001" ~loc:e.pexp_loc
+                  (Printf.sprintf
+                     "global PRNG Random.%s: results depend on hidden shared \
+                      state; use a seeded Random.State (derive per-task \
+                      seeds with Parallel.Pool.derive_seed)"
+                     fn)
+                :: !acc
+          | Some [ "Random"; "State"; "make_self_init" ] ->
+              acc :=
+                finding ~rule:"D001" ~loc:e.pexp_loc
+                  "Random.State.make_self_init seeds from the environment; \
+                   pass an explicit seed instead"
+                :: !acc
+          | _ -> ());
+      List.rev !acc)
+
+let d001 =
+  {
+    Rule.id = "D001";
+    severity = Finding.Error;
+    title = "global PRNG use";
+    doc =
+      "The global Random state is shared, hidden input: any draw from it \
+       makes output depend on call order (and under the domain pool, on the \
+       scheduler). All randomness must flow from explicit Random.State \
+       values seeded from task identity.";
+    check = d001_check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D002: hash-order escape                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sorters =
+  [
+    [ "List"; "sort" ];
+    [ "List"; "sort_uniq" ];
+    [ "List"; "stable_sort" ];
+    [ "List"; "fast_sort" ];
+    [ "Array"; "sort" ];
+    [ "Array"; "stable_sort" ];
+  ]
+
+let is_sorter e =
+  match Ast_scan.path_of (Ast_scan.head e) with
+  | Some comps ->
+      List.exists (fun s -> Ast_scan.suffix_matches comps ~suffix:s) sorters
+  | None -> false
+
+(* ranges (as locations) whose contents are considered order-sanitized
+   because the value is piped into a sort before escaping *)
+let sanitized_ranges str =
+  let ranges = ref [] in
+  Ast_scan.iter_expressions_str str (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, args) when is_sorter f ->
+          List.iter (fun (_, (a : expression)) -> ranges := a.pexp_loc :: !ranges) args
+      | Pexp_apply (op, [ (_, lhs); (_, rhs) ]) -> (
+          match Ast_scan.path_of op with
+          | Some [ "|>" ] when is_sorter rhs ->
+              ranges := lhs.pexp_loc :: !ranges
+          | Some [ "@@" ] when is_sorter op || is_sorter lhs ->
+              ranges := rhs.pexp_loc :: !ranges
+          | _ -> ())
+      | _ -> ());
+  !ranges
+
+let contains_list_escape body =
+  let found = ref false in
+  Ast_scan.iter_expressions_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some _) ->
+          found := true
+      | Pexp_apply (f, _) -> (
+          match Ast_scan.path_of (Ast_scan.peel f) with
+          | Some [ "@" ] -> found := true
+          | Some comps
+            when Ast_scan.suffix_matches comps ~suffix:[ "List"; "append" ]
+                 || Ast_scan.suffix_matches comps
+                      ~suffix:[ "List"; "rev_append" ]
+                 || Ast_scan.suffix_matches comps ~suffix:[ "Array"; "append" ]
+            ->
+              found := true
+          | _ -> ())
+      | _ -> ());
+  !found
+
+(* names bound to refs locally inside [body] (the callback's own
+   accumulators, which are order-safe) *)
+let local_ref_names body =
+  let acc = ref [] in
+  Ast_scan.iter_expressions_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_let (_, vbs, _) ->
+          List.iter
+            (fun vb ->
+              match
+                ( Ast_scan.pat_var vb.pvb_pat,
+                  Ast_scan.path_of (Ast_scan.head vb.pvb_expr) )
+              with
+              | Some n, Some [ "ref" ] -> acc := n :: !acc
+              | _ -> ())
+            vbs
+      | _ -> ());
+  !acc
+
+(* order-sensitive effects inside a Hashtbl.iter callback: mutating a ref
+   that outlives the callback (counter or list accumulator), or drawing
+   from a stateful PRNG, both of which consume state in hash order *)
+let iter_callback_hazard body =
+  let locals = local_ref_names body in
+  let hazard = ref None in
+  let set loc msg = if !hazard = None then hazard := Some (loc, msg) in
+  Ast_scan.iter_expressions_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+          match Ast_scan.path_of (Ast_scan.peel f) with
+          | Some [ ("incr" | "decr") ] -> (
+              match args with
+              | [ (_, arg) ] -> (
+                  match Ast_scan.path_of (Ast_scan.peel arg) with
+                  | Some [ n ] when not (List.mem n locals) ->
+                      set e.pexp_loc
+                        (Printf.sprintf
+                           "counter '%s' is advanced in hash-iteration order" n)
+                  | _ -> ())
+              | _ -> ())
+          | Some [ ":=" ] -> (
+              match args with
+              | [ (_, lhs); (_, rhs) ] -> (
+                  match Ast_scan.path_of (Ast_scan.peel lhs) with
+                  | Some [ n ]
+                    when (not (List.mem n locals))
+                         && contains_list_escape rhs ->
+                      set e.pexp_loc
+                        (Printf.sprintf
+                           "list accumulated into '%s' in hash-iteration \
+                            order" n)
+                  | _ -> ())
+              | _ -> ())
+          | Some ("Random" :: _) ->
+              set e.pexp_loc
+                "stateful PRNG stream consumed in hash-iteration order"
+          | _ -> ())
+      | _ -> ());
+  !hazard
+
+let d002_check ctx =
+  Rule.per_source ctx (fun _src str ->
+      let ranges = sanitized_ranges str in
+      let sanitized loc =
+        List.exists (fun r -> Ast_scan.loc_within loc r) ranges
+      in
+      let acc = ref [] in
+      Ast_scan.iter_expressions_str str (fun e ->
+          match e.pexp_desc with
+          | Pexp_apply (f, (_, first) :: _) -> (
+              match Ast_scan.path_of (Ast_scan.peel f) with
+              | Some comps
+                when Ast_scan.suffix_matches comps ~suffix:[ "Hashtbl"; "fold" ]
+                ->
+                  let folder = Ast_scan.peel first in
+                  let escaping =
+                    match folder.pexp_desc with
+                    | Pexp_fun _ -> contains_list_escape folder
+                    | _ -> false
+                  in
+                  if escaping && not (sanitized e.pexp_loc) then
+                    acc :=
+                      finding ~rule:"D002" ~loc:e.pexp_loc
+                        "Hashtbl.fold builds a list in hash-iteration order \
+                         that escapes unsorted; pipe the result through \
+                         List.sort (or iterate keys in a sorted order)"
+                      :: !acc
+              | Some comps
+                when Ast_scan.suffix_matches comps ~suffix:[ "Hashtbl"; "iter" ]
+                -> (
+                  match (Ast_scan.peel first).pexp_desc with
+                  | Pexp_fun _ -> (
+                      match iter_callback_hazard (Ast_scan.peel first) with
+                      | Some (loc, why) ->
+                          acc :=
+                            finding ~rule:"D002" ~loc
+                              (Printf.sprintf
+                                 "Hashtbl.iter callback is order-sensitive \
+                                  (%s); iterate entries in a sorted order \
+                                  instead"
+                                 why)
+                            :: !acc
+                      | None -> ())
+                  | _ -> ())
+              | Some comps
+                when List.exists
+                       (fun s -> Ast_scan.suffix_matches comps ~suffix:s)
+                       [
+                         [ "Hashtbl"; "to_seq" ];
+                         [ "Hashtbl"; "to_seq_keys" ];
+                         [ "Hashtbl"; "to_seq_values" ];
+                       ]
+                     && not (sanitized e.pexp_loc) ->
+                  acc :=
+                    finding ~rule:"D002" ~loc:e.pexp_loc
+                      "Hashtbl.to_seq yields entries in hash-iteration \
+                       order; sort before the sequence escapes"
+                    :: !acc
+              | _ -> ())
+          | _ -> ());
+      List.rev !acc)
+
+let d002 =
+  {
+    Rule.id = "D002";
+    severity = Finding.Error;
+    title = "unordered-iteration escape";
+    doc =
+      "Hashtbl iteration order is a function of hashing internals, not of \
+       the data. A list or stream built in that order that escapes without \
+       a sort makes output depend on it; so does a counter or PRNG stream \
+       advanced once per entry. Iterate sorted keys, or sort the result \
+       before it escapes.";
+    check = d002_check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D003: wall clock in result paths                                     *)
+(* ------------------------------------------------------------------ *)
+
+let clock_fns =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "gmtime" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "mktime" ];
+    [ "Sys"; "time" ];
+  ]
+
+let d003_check ctx =
+  Rule.per_source ctx (fun _src str ->
+      let acc = ref [] in
+      Ast_scan.iter_expressions_str str (fun e ->
+          match Ast_scan.path_of e with
+          | Some comps
+            when List.exists
+                   (fun c -> Ast_scan.suffix_matches comps ~suffix:c)
+                   clock_fns
+                 && List.length comps = 2 ->
+              acc :=
+                finding ~rule:"D003" ~loc:e.pexp_loc
+                  (Printf.sprintf
+                     "wall clock %s in a result path makes output \
+                      time-dependent; timing belongs in the bench harness \
+                      (suppress there with (* lint: allow D003 ... *))"
+                     (Ast_scan.path_str comps))
+                :: !acc
+          | _ -> ());
+      List.rev !acc)
+
+let d003 =
+  {
+    Rule.id = "D003";
+    severity = Finding.Error;
+    title = "wall clock in result path";
+    doc =
+      "Unix.gettimeofday / Sys.time readings folded into results destroy \
+       reproducibility. The only sanctioned sites are the bench harness's \
+       wall-clock measurements, annotated with an explicit allow comment.";
+    check = d003_check;
+  }

@@ -1,0 +1,80 @@
+type t = {
+  path : string;
+  content : string;
+  ast : Parsetree.structure option;
+  parse_error : string option;
+  suppressions : (int * string) list;
+}
+
+(* Scan one line of text for "lint: allow RULE"; the comment syntax is
+   checked loosely on purpose so the marker works inside any comment
+   style. Returns the rule id when present. *)
+let suppression_of_line line =
+  let marker = "lint:" in
+  let mlen = String.length marker in
+  let len = String.length line in
+  let rec find i =
+    if i + mlen > len then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some after ->
+      let rec skip_ws i =
+        if i < len && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1)
+        else i
+      in
+      let i = skip_ws after in
+      let kw = "allow" in
+      let klen = String.length kw in
+      if i + klen > len || String.sub line i klen <> kw then None
+      else
+        let i = skip_ws (i + klen) in
+        let is_rule_char c =
+          (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+        in
+        let rec stop j = if j < len && is_rule_char line.[j] then stop (j + 1) else j in
+        let j = stop i in
+        if j > i then Some (String.sub line i (j - i)) else None
+
+let scan_suppressions content =
+  let lines = String.split_on_char '\n' content in
+  let _, acc =
+    List.fold_left
+      (fun (lnum, acc) line ->
+        match suppression_of_line line with
+        | Some rule -> (lnum + 1, (lnum, rule) :: acc)
+        | None -> (lnum + 1, acc))
+      (1, []) lines
+  in
+  List.rev acc
+
+let of_string ~path content =
+  let lexbuf = Lexing.from_string content in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  let ast, parse_error =
+    match Parse.implementation lexbuf with
+    | ast -> (Some ast, None)
+    | exception e ->
+        (None, Some (Printf.sprintf "parse error: %s" (Printexc.to_string e)))
+  in
+  { path; content; ast; parse_error; suppressions = scan_suppressions content }
+
+let load ?file ~path () =
+  let file = Option.value file ~default:path in
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  of_string ~path content
+
+let module_name t =
+  let base = Filename.remove_extension (Filename.basename t.path) in
+  String.capitalize_ascii base
+
+let suppressed t ~rule ~line =
+  List.exists
+    (fun (l, r) -> r = rule && (l = line || l = line - 1))
+    t.suppressions

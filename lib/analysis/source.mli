@@ -1,0 +1,26 @@
+(** One .ml source unit: raw text, its Parsetree (when it parses), and the
+    lint-suppression comments found in the text. *)
+
+type t = {
+  path : string;  (** repo-relative path used in findings *)
+  content : string;
+  ast : Parsetree.structure option;
+  parse_error : string option;  (** set when [ast] is [None] *)
+  suppressions : (int * string) list;
+      (** (line, rule id) for each [(* lint: allow RULE reason *)] comment *)
+}
+
+(** Parse [content] as an implementation; never raises — parse failures are
+    recorded in [parse_error]. *)
+val of_string : path:string -> string -> t
+
+(** Read the file at [file] (defaults to [path]) and parse it. *)
+val load : ?file:string -> path:string -> unit -> t
+
+(** Capitalized module name derived from the basename, e.g.
+    ["lib/graph/union_find.ml"] -> ["Union_find"]. *)
+val module_name : t -> string
+
+(** A suppression on line [l] covers findings of the same rule on line [l]
+    (trailing comment) and line [l + 1] (comment on the preceding line). *)
+val suppressed : t -> rule:string -> line:int -> bool

@@ -12,8 +12,15 @@ let chop_once g labels ~width st =
   done;
   let fresh = ref 0 in
   let out = Array.make n (-1) in
-  Hashtbl.iter
-    (fun _ members ->
+  (* iterate groups in ascending label order: the offset draws and the
+     fresh-label counter consume shared state, so hash order must not
+     decide which group draws first *)
+  let group_list =
+    Hashtbl.fold (fun l members acc -> (l, members) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_, members) ->
       (* BFS within the group; one BFS per connected piece *)
       let in_group = Hashtbl.create 16 in
       List.iter (fun v -> Hashtbl.add in_group v ()) members;
@@ -55,7 +62,7 @@ let chop_once g labels ~width st =
               !piece
           end)
         members)
-    groups;
+    group_list;
   out
 
 let chop g ~width ~levels ~seed =

@@ -77,6 +77,8 @@ let run (view : Cluster_view.t) ~max_iterations =
                     Hashtbl.replace spokes (a, b) (s :: cur)
                 | _ -> ())
               inbox;
+            (* sorted so the bounce list does not leak hash order into the
+               message sequence *)
             let bounced_spokes =
               Hashtbl.fold
                 (fun _ senders acc ->
@@ -84,6 +86,7 @@ let run (view : Cluster_view.t) ~max_iterations =
                   | _ :: _ :: rest -> rest @ acc
                   | _ -> acc)
                 spokes []
+              |> List.sort compare
             in
             let send =
               List.map (fun s -> (s, Bounce)) (bounced_pendants @ bounced_spokes)

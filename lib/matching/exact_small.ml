@@ -65,7 +65,13 @@ let max_weight_matching_edges g w =
               picked := e :: !picked;
               s := without_v lxor (1 lsl u)
             end);
-        if not !found then assert false
+        if not !found then
+          invalid_arg
+            (Printf.sprintf
+               "Exact_small.max_weight_matching_edges: no edge at vertex %d \
+                explains dp value %d on subset 0x%x — the weight function \
+                changed between calls"
+               v dp.(!s) !s)
       end
     done;
     (dp.((1 lsl n) - 1), !picked)

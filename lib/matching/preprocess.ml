@@ -27,7 +27,12 @@ let eliminate g =
           let key = (min a b, max a b) in
           let cur = try Hashtbl.find spokes key with Not_found -> [] in
           Hashtbl.replace spokes key (u :: cur)
-      | _ -> assert false
+      | ns ->
+          invalid_arg
+            (Printf.sprintf
+               "Preprocess.eliminate: vertex %d has degree 2 but %d \
+                neighbor entries (self-loop or parallel edge?)"
+               u (List.length ns))
     end
   done;
   Hashtbl.iter
@@ -115,7 +120,12 @@ let has_3_double_star g =
           let c = (try Hashtbl.find spokes key with Not_found -> 0) + 1 in
           Hashtbl.replace spokes key c;
           if c >= 3 then found := true
-      | _ -> assert false
+      | ns ->
+          invalid_arg
+            (Printf.sprintf
+               "Preprocess.has_3_double_star: vertex %d has degree 2 but \
+                %d neighbor entries (self-loop or parallel edge?)"
+               u (List.length ns))
     end
   done;
   !found

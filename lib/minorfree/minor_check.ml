@@ -96,7 +96,7 @@ let is_series_parallel g =
           adj.(b) <- S.add a (S.remove v adj.(b));
           requeue a;
           requeue b
-      | _ -> assert false);
+      | _ -> assert false (* lint: allow S001 cardinal <= 2 checked on queue *));
       adj.(v) <- S.empty
     end
   done;

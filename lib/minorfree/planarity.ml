@@ -112,8 +112,10 @@ let fragments g embedded_v embedded_e =
           Graph.iter_neighbors g u (fun w ->
               if embedded_v.(w) then Hashtbl.replace attach w ()))
         !members;
-      let attachments = Hashtbl.fold (fun k () acc -> k :: acc) attach [] in
-      let attachments = List.sort compare attachments in
+      let attachments =
+        Hashtbl.fold (fun k () acc -> k :: acc) attach []
+        |> List.sort compare
+      in
       (* path between two attachments through the component: BFS from an
          attachment a entering only component vertices, stopping at the
          first embedded vertex b <> a *)
@@ -177,7 +179,7 @@ let embed_block_exn g =
     (* a bridge block: trivial embedding with one (degenerate) face *)
     match Graph.edges g with
     | [| (u, v) |] -> [ [ u; v ] ]
-    | _ -> assert false
+    | _ -> assert false (* lint: allow S001 guarded by m = 1 above *)
   else begin
     let cycle = find_cycle g in
     if List.length cycle < 3 then raise Non_planar;

@@ -131,7 +131,7 @@ let exact g =
                 if S.mem f set then (size + 1, S.add a (S.add b (S.remove f set)))
                 else (size + 1, S.add v set)
               end
-          | _ -> assert false
+          | _ -> assert false (* lint: allow S001 dmin = 2 forces two neighbors *)
         end
         else begin
           let u = !vmax in

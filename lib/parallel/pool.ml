@@ -54,6 +54,7 @@ let mapi pool f arr =
     (match caller_error with Some e -> raise e | None -> ());
     (* deterministic error choice: lowest-indexed failing task wins *)
     Array.iter (function Some e -> raise e | None -> ()) errors;
+    (* lint: allow S001 every slot is filled once the workers join *)
     Array.map (function Some v -> v | None -> assert false) results
   end
 

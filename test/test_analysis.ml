@@ -1,0 +1,442 @@
+(* Engine-level tests for the static-analysis pass: per-rule
+   positive/negative fixture pairs over inline snippets, the suppression
+   comment path, and the baseline round trip. Fixtures are parsed with the
+   same compiler-libs front end as the real run, so a finding asserted
+   here is exactly what `dune build @lint` would report. *)
+
+open Analysis
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* run the engine over (path, content) fixtures; returns fresh findings *)
+let run ?baseline fixtures =
+  let sources =
+    List.map (fun (path, content) -> Source.of_string ~path content) fixtures
+  in
+  Engine.analyze ?baseline sources
+
+let fresh ?baseline fixtures = Engine.fresh (run ?baseline fixtures)
+
+let count_rule rule findings =
+  List.length (List.filter (fun (f : Finding.t) -> f.rule = rule) findings)
+
+(* ------------------------------------------------------------------ *)
+(* D001: global PRNG                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_d001_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let pick n = Random.int n\nlet seeded () = Random.self_init ()" );
+      ]
+  in
+  check "two global draws" 2 (count_rule "D001" fs);
+  let f = List.hd fs in
+  checks "file" "lib/fake/a.ml" f.file;
+  check "line of first" 1 f.line
+
+let test_d001_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let pick st n = Random.State.int st n\n\
+           let st = Random.State.make [| 42 |]" );
+      ]
+  in
+  check "seeded state is fine" 0 (count_rule "D001" fs)
+
+let test_d001_self_init_state () =
+  let fs =
+    fresh
+      [ ("lib/fake/a.ml", "let st () = Random.State.make_self_init ()") ]
+  in
+  check "make_self_init flagged" 1 (count_rule "D001" fs)
+
+(* ------------------------------------------------------------------ *)
+(* D002: unordered-iteration escape                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_d002_fold_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []" );
+      ]
+  in
+  check "unsorted fold flagged" 1 (count_rule "D002" fs)
+
+let test_d002_fold_sorted_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let keys tbl =\n\
+          \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n\
+          \  |> List.sort compare\n\
+           let keys2 tbl =\n\
+          \  List.sort_uniq compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])"
+        );
+      ]
+  in
+  check "sorted folds pass" 0 (count_rule "D002" fs)
+
+let test_d002_fold_commutative_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let biggest tbl = Hashtbl.fold (fun _ s acc -> max s acc) tbl 1" );
+      ]
+  in
+  check "max fold passes" 0 (count_rule "D002" fs)
+
+let test_d002_iter_counter_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let label tbl out =\n\
+          \  let fresh = ref 0 in\n\
+          \  Hashtbl.iter (fun k _ -> out.(k) <- !fresh; incr fresh) tbl" );
+      ]
+  in
+  check "hash-order counter flagged" 1 (count_rule "D002" fs)
+
+let test_d002_iter_local_ref_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let ok tbl flag =\n\
+          \  Hashtbl.iter\n\
+          \    (fun _ vs ->\n\
+          \      let acc = ref [] in\n\
+          \      List.iter (fun v -> acc := v :: !acc) vs;\n\
+          \      if List.length !acc > 3 then flag := false)\n\
+          \    tbl" );
+      ]
+  in
+  check "callback-local accumulator passes" 0 (count_rule "D002" fs)
+
+(* ------------------------------------------------------------------ *)
+(* D003: wall clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_d003_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let stamp () = Unix.gettimeofday ()\nlet cpu () = Sys.time ()" );
+      ]
+  in
+  check "both clocks flagged" 2 (count_rule "D003" fs)
+
+let test_d003_negative () =
+  let fs =
+    fresh [ ("lib/fake/a.ml", "let stamp counter = counter + 1") ]
+  in
+  check "no clock, no finding" 0 (count_rule "D003" fs)
+
+(* ------------------------------------------------------------------ *)
+(* P001: domain-unsafe parallel task                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_p001_direct_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let cache = Hashtbl.create 16\n\
+           let slow x = Hashtbl.replace cache x x; x\n\
+           let all pool arr = Parallel.Pool.map pool slow arr" );
+        ("lib/parallel/pool.ml", "let map _pool f arr = Array.map f arr");
+      ]
+  in
+  check "task touching toplevel Hashtbl flagged" 1 (count_rule "P001" fs);
+  let f = List.find (fun (f : Finding.t) -> f.rule = "P001") fs in
+  checkb "names the mutable binding"
+    true
+    (let rec contains i =
+       i + 7 <= String.length f.message
+       && (String.sub f.message i 7 = "A.cache" || contains (i + 1))
+     in
+     contains 0)
+
+let test_p001_pure_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let slow x = x * x\n\
+           let all pool arr = Parallel.Pool.map pool slow arr" );
+        ("lib/parallel/pool.ml", "let map _pool f arr = Array.map f arr");
+      ]
+  in
+  check "pure task passes" 0 (count_rule "P001" fs)
+
+let test_p001_transitive_positive () =
+  (* the mutable state is two call-graph hops away, in another module *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/state.ml",
+          "let hits = ref 0\nlet bump () = incr hits" );
+        ( "lib/fake/a.ml",
+          "let middle x = State.bump (); x\n\
+           let task x = middle x\n\
+           let all pool arr = Parallel.Pool.map pool task arr" );
+        ("lib/parallel/pool.ml", "let map _pool f arr = Array.map f arr");
+      ]
+  in
+  check "cross-module transitive reach flagged" 1 (count_rule "P001" fs)
+
+let test_p001_wrapper_positive () =
+  (* the pool call is hidden behind a project wrapper taking the task as
+     a parameter (the bench/experiments.ml `grid` shape) *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/wrap.ml",
+          "let pool = ref 0\n\
+           let grid tasks f = List.concat (Parallel.Pool.map_list !pool f tasks)"
+        );
+        ( "lib/fake/a.ml",
+          "let seen = Buffer.create 64\n\
+           let table xs = Wrap.grid xs (fun x -> Buffer.add_string seen x; [ x ])"
+        );
+        ("lib/parallel/pool.ml", "let map_list _pool f l = List.map f l");
+      ]
+  in
+  check "wrapper-forwarded task flagged" 1 (count_rule "P001" fs)
+
+let test_p001_lambda_local_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let all pool arr =\n\
+          \  Parallel.Pool.map pool\n\
+          \    (fun x ->\n\
+          \      let buf = Buffer.create 8 in\n\
+          \      Buffer.add_string buf x;\n\
+          \      Buffer.contents buf)\n\
+          \    arr" );
+        ("lib/parallel/pool.ml", "let map _pool f arr = Array.map f arr");
+      ]
+  in
+  check "task-local buffer passes" 0 (count_rule "P001" fs)
+
+(* ------------------------------------------------------------------ *)
+(* H001: float equality                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_h001_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let degenerate x = x = 0.\n\
+           let close a b = compare (a *. 2.) (float_of_int b)" );
+      ]
+  in
+  check "literal and arithmetic operands flagged" 2 (count_rule "H001" fs)
+
+let test_h001_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let same a b = a = b\nlet zero n = n = 0\nlet lt x = x < 1.5" );
+      ]
+  in
+  check "int equality and float ordering pass" 0 (count_rule "H001" fs)
+
+(* ------------------------------------------------------------------ *)
+(* S001: Obj.* / assert false in library code                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_s001_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let f = function Some x -> x | None -> assert false\n\
+           let coerce x = Obj.magic x" );
+      ]
+  in
+  check "assert false and Obj.magic flagged" 2 (count_rule "S001" fs)
+
+let test_s001_outside_lib_negative () =
+  let fs =
+    fresh
+      [
+        ( "bench/a.ml",
+          "let f = function Some x -> x | None -> assert false" );
+      ]
+  in
+  check "bench code exempt from S001" 0 (count_rule "S001" fs)
+
+(* ------------------------------------------------------------------ *)
+(* suppression comments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_same_and_preceding_line () =
+  let report =
+    run
+      [
+        ( "lib/fake/a.ml",
+          "let a () = Unix.gettimeofday () (* lint: allow D003 timing *)\n\
+           (* lint: allow D003 timing *)\n\
+           let b () = Unix.gettimeofday ()\n\
+           let c () = Unix.gettimeofday ()" );
+      ]
+  in
+  let fresh_count, suppressed, _ = Engine.counts report in
+  check "third site still fires" 1 fresh_count;
+  check "two sites suppressed" 2 suppressed
+
+let test_suppression_wrong_rule_does_not_mask () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let a () = Unix.gettimeofday () (* lint: allow D001 wrong id *)" );
+      ]
+  in
+  check "allow for another rule does not mask" 1 (count_rule "D003" fs)
+
+(* ------------------------------------------------------------------ *)
+(* baseline round trip                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_round_trip () =
+  let fixtures =
+    [
+      ( "lib/fake/a.ml",
+        "let pick n = Random.int n\nlet degenerate x = x = 0." );
+    ]
+  in
+  let before = fresh fixtures in
+  check "two findings before baselining" 2 (List.length before);
+  (* write baseline -> re-run -> zero new findings *)
+  let baseline = Baseline.parse (Baseline.to_string (Baseline.of_findings before)) in
+  let report = run ~baseline fixtures in
+  let fresh_count, _, baselined = Engine.counts report in
+  check "zero new findings" 0 fresh_count;
+  check "both grandfathered" 2 baselined;
+  (* a fresh finding on an unbaselined line still fails *)
+  let fixtures2 =
+    [
+      ( "lib/fake/a.ml",
+        "let pick n = Random.int n\n\
+         let degenerate x = x = 0.\n\
+         let extra () = Sys.time ()" );
+    ]
+  in
+  check "new finding escapes the baseline" 1
+    (List.length (fresh ~baseline fixtures2))
+
+let test_parse_error_is_a_finding () =
+  let fs = fresh [ ("lib/fake/bad.ml", "let = ") ] in
+  check "E000 reported" 1 (count_rule "E000" fs)
+
+(* ------------------------------------------------------------------ *)
+(* real-tree smoke: the shipped rule set stays clean on this repo       *)
+(* ------------------------------------------------------------------ *)
+
+let repo_root () =
+  (* tests run from test/ inside _build; the repo sources sit two levels
+     up only in the source tree, so walk upward until lib/ is found *)
+  let rec up dir depth =
+    if depth > 6 then None
+    else if
+      Sys.file_exists (Filename.concat dir "lib")
+      && Sys.file_exists (Filename.concat dir "dune-project")
+    then Some dir
+    else up (Filename.dirname dir) (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let test_repo_tree_loads () =
+  match repo_root () with
+  | None -> () (* sandboxed test run without the tree; nothing to assert *)
+  | Some root ->
+      let sources, libraries =
+        Engine.load_tree ~root ~dirs:[ "lib"; "bench"; "bin" ]
+      in
+      checkb "found a library map" true (List.length libraries >= 5);
+      checkb "found the sources" true (List.length sources >= 50);
+      let report = Engine.analyze ~libraries sources in
+      (* D-rules and P001 must be clean modulo inline suppressions; H001
+         may carry baseline entries, which appear as fresh here because we
+         pass no baseline *)
+      let hard =
+        List.filter
+          (fun (f : Finding.t) ->
+            match f.rule with
+            | "D001" | "D002" | "P001" | "E000" -> true
+            | _ -> false)
+          (Engine.fresh report)
+      in
+      checks "no hard findings"
+        ""
+        (String.concat "; " (List.map Finding.to_text hard))
+
+let () =
+  let tc = Alcotest.test_case in
+  let t name f = tc name `Quick f in
+  Alcotest.run "analysis"
+    [
+      ( "d001",
+        [
+          t "global draws flagged" test_d001_positive;
+          t "seeded state passes" test_d001_negative;
+          t "make_self_init flagged" test_d001_self_init_state;
+        ] );
+      ( "d002",
+        [
+          t "unsorted fold flagged" test_d002_fold_positive;
+          t "sorted fold passes" test_d002_fold_sorted_negative;
+          t "commutative fold passes" test_d002_fold_commutative_negative;
+          t "iter counter flagged" test_d002_iter_counter_positive;
+          t "local accumulator passes" test_d002_iter_local_ref_negative;
+        ] );
+      ( "d003",
+        [
+          t "clocks flagged" test_d003_positive;
+          t "no clock passes" test_d003_negative;
+        ] );
+      ( "p001",
+        [
+          t "direct reach flagged" test_p001_direct_positive;
+          t "pure task passes" test_p001_pure_negative;
+          t "transitive reach flagged" test_p001_transitive_positive;
+          t "wrapper forwarding flagged" test_p001_wrapper_positive;
+          t "task-local state passes" test_p001_lambda_local_negative;
+        ] );
+      ( "h001",
+        [
+          t "float operands flagged" test_h001_positive;
+          t "non-float passes" test_h001_negative;
+        ] );
+      ( "s001",
+        [
+          t "assert false and Obj flagged" test_s001_positive;
+          t "bench exempt" test_s001_outside_lib_negative;
+        ] );
+      ( "engine",
+        [
+          t "suppression lines" test_suppression_same_and_preceding_line;
+          t "suppression rule mismatch" test_suppression_wrong_rule_does_not_mask;
+          t "baseline round trip" test_baseline_round_trip;
+          t "parse error finding" test_parse_error_is_a_finding;
+          t "repo tree clean" test_repo_tree_loads;
+        ] );
+    ]

@@ -145,6 +145,16 @@ let test_kpr_chop_basic () =
   checkb "connected clusters" true
     (Partition.max_cluster_diameter g p < max_int)
 
+let test_kpr_chop_pinned () =
+  (* regression: the chop visits label groups in ascending order, so the
+     shared offset draws and fresh-label counter make the result a pure
+     function of (graph, seed) — not of hash-table iteration order *)
+  let p = Kpr.chop (Generators.grid 4 4) ~width:3 ~levels:2 ~seed:9 in
+  Alcotest.(check (array int))
+    "labels"
+    [| 0; 1; 2; 2; 3; 2; 2; 2; 4; 4; 2; 5; 4; 4; 6; 6 |]
+    p.Partition.labels
+
 let test_kpr_cut_expectation () =
   (* expected cut fraction <= levels / width; allow 2x slack *)
   let g = Generators.random_apollonian 200 ~seed:10 in
@@ -262,6 +272,7 @@ let () =
       ( "kpr",
         [
           tc "basic chop" test_kpr_chop_basic;
+          tc "pinned labels" test_kpr_chop_pinned;
           tc "cut expectation" test_kpr_cut_expectation;
           tc "ldd budget" test_kpr_ldd_budget;
           tc "diameter linear in width" test_kpr_diameter_linear_in_width;

@@ -80,6 +80,16 @@ let test_union_find () =
   Alcotest.(check (list (list int)))
     "groups" [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ] (Union_find.groups uf)
 
+let test_union_find_groups_sorted () =
+  (* regression: [groups] leaves its internal hash table sorted — members
+     ascending, groups by smallest member — whatever the union order *)
+  let uf = Union_find.create 7 in
+  List.iter
+    (fun (a, b) -> ignore (Union_find.union uf a b))
+    [ (6, 5); (5, 4); (1, 0); (6, 2) ];
+  Alcotest.(check (list (list int)))
+    "groups" [ [ 0; 1 ]; [ 2; 4; 5; 6 ]; [ 3 ] ] (Union_find.groups uf)
+
 (* ------------------------------------------------------------------ *)
 (* Traversal                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -549,7 +559,11 @@ let () =
           tc "volume" test_volume;
           tc "edge id order" test_iter_edges_order;
         ] );
-      ("union_find", [ tc "operations" test_union_find ]);
+      ( "union_find",
+        [
+          tc "operations" test_union_find;
+          tc "groups sorted" test_union_find_groups_sorted;
+        ] );
       ( "traversal",
         [
           tc "bfs path" test_bfs_path;

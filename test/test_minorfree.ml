@@ -101,6 +101,23 @@ let test_embed_block_faces () =
       ("K23", Generators.complete_bipartite 2 3);
     ]
 
+let test_embed_block_pinned () =
+  (* regression: attachment lists leave the embedder's hash table in
+     sorted order, so the embedding is a function of the graph alone *)
+  let faces g =
+    match Planarity.embed_block g with
+    | Some f -> f
+    | None -> Alcotest.fail "should embed"
+  in
+  Alcotest.(check (list (list int)))
+    "K4 faces"
+    [ [ 2; 1; 3 ]; [ 3; 0; 2 ]; [ 1; 0; 3 ]; [ 0; 1; 2 ] ]
+    (faces (Generators.complete 4));
+  Alcotest.(check (list (list int)))
+    "K23 faces"
+    [ [ 0; 3; 1; 4 ]; [ 1; 2; 0; 4 ]; [ 0; 2; 1; 3 ] ]
+    (faces (Generators.complete_bipartite 2 3))
+
 let test_embed_block_rejects () =
   checkb "K5 rejected" true (Planarity.embed_block (Generators.complete 5) = None);
   checkb "K33 rejected" true
@@ -337,6 +354,7 @@ let () =
           tc "disconnected" test_planarity_disconnected;
           tc "planted K5" test_planarity_k5_in_big_planar;
           tc "embedding face counts" test_embed_block_faces;
+          tc "embedding pinned" test_embed_block_pinned;
           tc "embedding rejects" test_embed_block_rejects;
           tc "biconnected precondition" test_embed_block_requires_biconnected;
           tc "outerplanarity" test_outerplanarity;

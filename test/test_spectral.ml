@@ -230,6 +230,18 @@ let test_ppr_locality () =
   in
   checkb "concentrated in the seed blob" true (inside > 4. *. outside)
 
+let test_ppr_pairs_vertex_sorted () =
+  (* regression: the sparse PPR vector is accumulated in a Hashtbl; the
+     pairs must leave in ascending vertex order, not hash order *)
+  let g = Generators.blob_chain ~blobs:6 ~blob_size:12 ~seed:72 in
+  let v = Local_cluster.ppr g ~seed_vertex:17 ~alpha:0.15 ~eps:1e-4 in
+  let rec ascending = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  checkb "nonempty" true (v <> []);
+  checkb "strictly ascending vertices" true (ascending v)
+
 let test_local_cluster_finds_blob () =
   let g = Generators.blob_chain ~blobs:6 ~blob_size:12 ~seed:71 in
   let cut = Local_cluster.find g ~seed_vertex:30 ~target_volume:70 in
@@ -448,6 +460,7 @@ let () =
         [
           tc "ppr mass bounds" test_ppr_mass_bounds;
           tc "ppr locality" test_ppr_locality;
+          tc "ppr pairs sorted" test_ppr_pairs_vertex_sorted;
           tc "finds the seed blob" test_local_cluster_finds_blob;
           tc "parameter validation" test_ppr_validation;
         ] );
