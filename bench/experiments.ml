@@ -767,3 +767,32 @@ let e13 () =
     ~title:"E13: extension problems, framework vs exact (ratio: min problems want <= 1+eps, max problems >= 1-eps)"
     ~header:[ "problem"; "family"; "n"; "framework"; "exact"; "ratio" ]
     (wmis_rows @ dom_rows @ vc_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Smoke workload: a seconds-scale slice of the pipeline used by the    *)
+(* @bench-smoke alias to validate the observability profile end to end  *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  note "\n### smoke: tiny end-to-end pass (pipeline + KPR + distributed)\n";
+  let rows =
+    grid
+      [
+        ("grid", Workloads.grid_of 64, 21);
+        ("blob-chain", Generators.blob_chain ~blobs:4 ~blob_size:8 ~seed:22, 22);
+      ]
+      (fun (name, g, seed) ->
+        let p = Core.Pipeline.prepare g ~epsilon:0.4 ~seed in
+        let part = Decomp.Kpr.chop g ~width:4 ~levels:2 ~seed in
+        let d = Distr.Distributed_decomposition.decompose g ~epsilon:0.4 in
+        [
+          [
+            name; i (Graph.n g); i p.report.k;
+            i p.report.simulated_rounds; i part.Decomp.Partition.k;
+            i d.Distr.Distributed_decomposition.k;
+          ];
+        ])
+  in
+  print_table ~title:"smoke: pipeline / KPR / distributed decomposition"
+    ~header:[ "family"; "n"; "k"; "sim rounds"; "kpr k"; "distr k" ]
+    rows

@@ -5,12 +5,23 @@
      dune exec bench/main.exe -- e6           # one experiment
      dune exec bench/main.exe -- timing       # only the timing benches
      dune exec bench/main.exe -- e8 --jobs 4  # grid points on 4 domains
+     dune exec bench/main.exe -- e8 --profile BENCH_profile.json
 
    --jobs N (or the EXPANDER_JOBS environment variable) sets the worker
    pool for the grid points inside each experiment; the default is
    Domain.recommended_domain_count and --jobs 1 forces the sequential
    path. Tables are byte-identical at every jobs value. Wall-clock per
-   experiment is recorded in BENCH_parallel.json. *)
+   experiment is recorded in the timings file (default
+   BENCH_parallel.json; override with --timings PATH).
+
+   Observability (lib/obs) is enabled for the table experiments: each
+   runs inside an "exp.<name>" span, so the timings file also carries
+   per-phase wall-clock taken from the span tree. --profile PATH writes
+   the full profile (schema "expander-obs-profile": deterministic span
+   aggregate + volatile timings); --trace PATH writes a Chrome
+   trace_event file loadable in Perfetto / chrome://tracing. The
+   "timing" micro-benchmarks run with observability off so Bechamel
+   measures the uninstrumented hot paths. *)
 
 open Sparse_graph
 
@@ -134,37 +145,74 @@ let experiments =
     ("e11", Experiments.e11);
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
+    ("smoke", Experiments.smoke);
     ("timing", timing);
   ]
 
-let write_timings_json path ~jobs timings =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"experiments\": [\n" jobs;
-  List.iteri
-    (fun idx (name, seconds) ->
-      Printf.fprintf oc "    {\"name\": %S, \"seconds\": %.3f}%s\n" name
-        seconds
-        (if idx = List.length timings - 1 then "" else ","))
-    timings;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+(* per-phase wall-clock of one experiment, read back from the span tree:
+   the direct children of "exp.<name>" with their summed span ns *)
+let phases_of tree name =
+  match Obs.Agg.find_path tree [ "exp." ^ name ] with
+  | None -> []
+  | Some node ->
+      List.map
+        (fun (child, (c : Obs.Agg.node)) ->
+          let ns =
+            match Obs.Agg.SMap.find_opt "ns" c.Obs.Agg.volatile with
+            | Some v -> v
+            | None -> 0
+          in
+          Obs.Json.Obj
+            [
+              ("name", Obs.Json.Str child);
+              ("count", Obs.Json.Int c.Obs.Agg.count);
+              ("seconds", Obs.Json.Float (float_of_int ns /. 1e9));
+            ])
+        (Obs.Agg.SMap.bindings node.Obs.Agg.children)
+
+let write_timings_json path ~jobs ~tree timings =
+  let experiments =
+    List.map
+      (fun (name, seconds) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str name);
+            ("seconds", Obs.Json.Float seconds);
+            ("phases", Obs.Json.List (phases_of tree name));
+          ])
+      timings
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("jobs", Obs.Json.Int jobs);
+        ("experiments", Obs.Json.List experiments);
+      ]
+  in
+  Obs.Export.write_file path (Obs.Json.to_string_pretty doc)
 
 let () =
-  (* split --jobs N off the experiment selection *)
-  let rec parse_args acc jobs = function
-    | [] -> (List.rev acc, jobs)
+  (* split --jobs / --profile / --trace / --timings off the selection *)
+  let rec parse_args acc jobs profile trace timings = function
+    | [] -> (List.rev acc, jobs, profile, trace, timings)
     | "--jobs" :: v :: rest ->
         (match int_of_string_opt v with
-        | Some j when j >= 1 -> parse_args acc (Some j) rest
+        | Some j when j >= 1 -> parse_args acc (Some j) profile trace timings rest
         | _ ->
             Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
             exit 1)
-    | "--jobs" :: [] ->
-        Printf.eprintf "--jobs expects a value\n";
+    | "--profile" :: p :: rest -> parse_args acc jobs (Some p) trace timings rest
+    | "--trace" :: p :: rest -> parse_args acc jobs profile (Some p) timings rest
+    | "--timings" :: p :: rest -> parse_args acc jobs profile trace p rest
+    | [ (("--jobs" | "--profile" | "--trace" | "--timings") as flag) ] ->
+        Printf.eprintf "%s expects a value\n" flag;
         exit 1
-    | name :: rest -> parse_args (name :: acc) jobs rest
+    | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest
   in
-  let names, jobs_flag = parse_args [] None (List.tl (Array.to_list Sys.argv)) in
+  let names, jobs_flag, profile, trace, timings_path =
+    parse_args [] None None None "BENCH_parallel.json"
+      (List.tl (Array.to_list Sys.argv))
+  in
   let jobs =
     match jobs_flag with Some j -> j | None -> Parallel.Pool.default_jobs ()
   in
@@ -175,14 +223,22 @@ let () =
   print_endline
     "Sparse Networks via Expander Decompositions' (PODC 2022) reproduction.";
   Printf.printf "[worker pool: %d job%s]\n" jobs (if jobs = 1 then "" else "s");
+  Obs.enable ();
   let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
-          let t0 = Unix.gettimeofday () in (* lint: allow D003 timing harness *)
-          f ();
-          let dt = Unix.gettimeofday () -. t0 in (* lint: allow D003 timing harness *)
+          let t0 = Obs.Clock.wall_s () in
+          (if name = "timing" then begin
+             (* Bechamel measures the uninstrumented hot paths: recording
+                spans inside its repetition loops would both distort the
+                estimates and buffer millions of trace slices *)
+             Obs.disable ();
+             Fun.protect ~finally:Obs.enable f
+           end
+           else Obs.Span.with_ ("exp." ^ name) f);
+          let dt = Obs.Clock.wall_s () -. t0 in
           timings := (name, dt) :: !timings;
           Printf.printf "[%s finished in %.1fs]\n" name dt
       | None ->
@@ -191,4 +247,24 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
     selected;
-  write_timings_json "BENCH_parallel.json" ~jobs (List.rev !timings)
+  let tree, events = Obs.snapshot () in
+  write_timings_json timings_path ~jobs ~tree (List.rev !timings);
+  (match profile with
+  | None -> ()
+  | Some path ->
+      let meta =
+        [
+          ("harness", Obs.Json.Str "bench/main.exe");
+          ("jobs", Obs.Json.Int jobs);
+          ( "experiments",
+            Obs.Json.List (List.map (fun s -> Obs.Json.Str s) selected) );
+        ]
+      in
+      Obs.Export.write_file path
+        (Obs.Json.to_string_pretty (Obs.Export.profile_json ~meta tree));
+      Printf.printf "[profile written to %s]\n" path);
+  match trace with
+  | None -> ()
+  | Some path ->
+      Obs.Export.write_file path (Obs.Json.to_string (Obs.Trace.to_json events));
+      Printf.printf "[trace written to %s]\n" path

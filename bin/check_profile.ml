@@ -1,0 +1,161 @@
+(* Profile validator for the @bench-smoke gate.
+
+     check_profile.exe --schema PROFILE [--trace TRACE]
+     check_profile.exe --compare A B
+
+   --schema structurally validates a profile emitted by bench/main.exe
+   --profile: schema name/version, the deterministic section (span tree
+   of integer counters, totals, peaks) and the volatile section. With
+   --trace it also checks the Chrome trace_event file is well-formed
+   (an object with a traceEvents list of complete events). --compare
+   parses two profiles and fails unless their deterministic sections
+   are identical after canonical re-serialization — the cross-run /
+   cross---jobs parity contract. Exit code 0 on success, 1 with a
+   message on the first violation found. *)
+
+open Obs
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | j -> j
+  | exception Json.Parse_error msg -> fail "%s: JSON parse error: %s" path msg
+  | exception Sys_error msg -> fail "cannot read %s: %s" path msg
+
+let member name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let require path name j =
+  match member name j with
+  | Some v -> v
+  | None -> fail "%s: missing %S member" path name
+
+let int_object path ctx = function
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Int _ -> ()
+          | _ -> fail "%s: %s.%s is not an integer" path ctx k)
+        fields
+  | _ -> fail "%s: %s is not an object" path ctx
+
+(* the deterministic span tree: count plus optional metrics/max/children *)
+let rec check_node path ctx j =
+  match j with
+  | Json.Obj fields ->
+      (match List.assoc_opt "count" fields with
+      | Some (Json.Int c) when c >= 0 -> ()
+      | Some (Json.Int _) -> fail "%s: %s.count is negative" path ctx
+      | _ -> fail "%s: %s.count missing or not an integer" path ctx);
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | "count" -> ()
+          | "metrics" | "max" -> int_object path (ctx ^ "." ^ k) v
+          | "children" ->
+              (match v with
+              | Json.Obj kids ->
+                  List.iter
+                    (fun (name, kid) ->
+                      check_node path (ctx ^ "/" ^ name) kid)
+                    kids
+              | _ -> fail "%s: %s.children is not an object" path ctx)
+          | other -> fail "%s: %s has unexpected member %S" path ctx other)
+        fields
+  | _ -> fail "%s: %s is not an object" path ctx
+
+let check_schema path =
+  let doc = parse path in
+  (match require path "schema" doc with
+  | Json.Str s when s = Export.schema_name -> ()
+  | Json.Str s ->
+      fail "%s: schema is %S, expected %S" path s Export.schema_name
+  | _ -> fail "%s: schema is not a string" path);
+  (match require path "version" doc with
+  | Json.Int v when v = Export.schema_version -> ()
+  | Json.Int v ->
+      fail "%s: version is %d, expected %d" path v Export.schema_version
+  | _ -> fail "%s: version is not an integer" path);
+  let det = require path "deterministic" doc in
+  check_node path "spans" (require path "spans" det);
+  int_object path "totals" (require path "totals" det);
+  int_object path "peaks" (require path "peaks" det);
+  let vol = require path "volatile" doc in
+  (match require path "spans" vol with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: volatile.spans is not an object" path);
+  Printf.printf "%s: profile ok\n" path
+
+let check_trace path =
+  let doc = parse path in
+  match require path "traceEvents" doc with
+  | Json.List events ->
+      List.iteri
+        (fun i e ->
+          let ctx = Printf.sprintf "traceEvents[%d]" i in
+          match e with
+          | Json.Obj _ ->
+              (match member "ph" e with
+              | Some (Json.Str "X") -> ()
+              | _ -> fail "%s: %s.ph is not \"X\"" path ctx);
+              List.iter
+                (fun k ->
+                  match member k e with
+                  | Some (Json.Str _) when k = "name" -> ()
+                  | Some (Json.Int v) when k <> "name" && v >= 0 -> ()
+                  | _ ->
+                      fail "%s: %s.%s missing or ill-typed" path ctx k)
+                [ "name"; "ts"; "dur"; "pid"; "tid" ]
+          | _ -> fail "%s: %s is not an object" path ctx)
+        events;
+      Printf.printf "%s: trace ok (%d events)\n" path (List.length events)
+  | _ -> fail "%s: traceEvents is not a list" path
+
+(* canonical form of the deterministic section: re-serialized compactly,
+   so formatting differences cannot mask or fake a mismatch *)
+let canonical path =
+  Json.to_string (require path "deterministic" (parse path))
+
+let compare_profiles a b =
+  let ca = canonical a and cb = canonical b in
+  if String.equal ca cb then
+    Printf.printf "%s == %s: deterministic sections identical (%d bytes)\n" a b
+      (String.length ca)
+  else fail "%s and %s: deterministic sections differ" a b
+
+let usage () =
+  prerr_endline
+    "usage: check_profile.exe --schema PROFILE [--trace TRACE]\n\
+    \       check_profile.exe --compare A B";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--schema" :: profile :: rest ->
+      (try
+         check_schema profile;
+         match rest with
+         | [] -> ()
+         | [ "--trace"; tr ] -> check_trace tr
+         | _ -> usage ()
+       with Bad msg ->
+         prerr_endline msg;
+         exit 1)
+  | [ _; "--compare"; a; b ] ->
+      (try compare_profiles a b
+       with Bad msg ->
+         prerr_endline msg;
+         exit 1)
+  | _ -> usage ()

@@ -255,8 +255,21 @@ let clock_fns =
     [ "Sys"; "time" ];
   ]
 
+(* Obs.Clock is the single sanctioned wall-clock sink: every timing read in
+   the tree goes through it, so the raw primitives are allowed there and
+   nowhere else. *)
+let is_sanctioned_clock_module (src : Source.t) =
+  let p = src.Source.path in
+  let suffix = "lib/obs/clock.ml" in
+  let lp = String.length p and ls = String.length suffix in
+  lp >= ls
+  && String.sub p (lp - ls) ls = suffix
+  && (lp = ls || p.[lp - ls - 1] = '/')
+
 let d003_check ctx =
-  Rule.per_source ctx (fun _src str ->
+  Rule.per_source ctx (fun src str ->
+      if is_sanctioned_clock_module src then []
+      else
       let acc = ref [] in
       Ast_scan.iter_expressions_str str (fun e ->
           match Ast_scan.path_of e with
@@ -269,8 +282,8 @@ let d003_check ctx =
                 finding ~rule:"D003" ~loc:e.pexp_loc
                   (Printf.sprintf
                      "wall clock %s in a result path makes output \
-                      time-dependent; timing belongs in the bench harness \
-                      (suppress there with (* lint: allow D003 ... *))"
+                      time-dependent; route timing reads through Obs.Clock \
+                      (lib/obs/clock.ml), the only sanctioned clock module"
                      (Ast_scan.path_str comps))
                 :: !acc
           | _ -> ());
@@ -283,7 +296,8 @@ let d003 =
     title = "wall clock in result path";
     doc =
       "Unix.gettimeofday / Sys.time readings folded into results destroy \
-       reproducibility. The only sanctioned sites are the bench harness's \
-       wall-clock measurements, annotated with an explicit allow comment.";
+       reproducibility. The only sanctioned site is Obs.Clock \
+       (lib/obs/clock.ml), the observability subsystem's clock module; \
+       everything else must take timestamps from it.";
     check = d003_check;
   }

@@ -127,6 +127,10 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
       touched := []
     done
   done;
+  (* cost-meter hook: attribute this run's accounting to the enclosing
+     observability span (no-op unless Obs is enabled) *)
+  Obs.Meter.net ~rounds:!rounds ~messages:!messages ~total_bits:!total_bits
+    ~max_edge_bits:!max_edge_bits;
   ( states,
     {
       rounds = !rounds;

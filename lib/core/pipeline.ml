@@ -87,17 +87,30 @@ let build_clusters geometry leader_of =
 
 let prepare ?(mode = Simulated) ?(pool = Parallel.Pool.sequential) g ~epsilon
     ~seed =
+  Obs.Span.with_ "pipeline.prepare" @@ fun () ->
   let n = Graph.n g in
   let decomposition =
     Spectral.Expander_decomposition.decompose ~pool g ~epsilon
   in
   let view = Distr.Cluster_view.of_labels g decomposition.labels in
   let geometry =
-    cluster_geometry pool g decomposition.labels decomposition.k
+    Obs.Span.with_ "pipeline.geometry" (fun () ->
+        cluster_geometry pool g decomposition.labels decomposition.k)
   in
-  let b = cluster_diameter_bound pool geometry in
+  let b =
+    Obs.Span.with_ "pipeline.diameter" (fun () ->
+        cluster_diameter_bound pool geometry)
+  in
   let charged = construction_charge ~n ~epsilon in
   let inter = List.length decomposition.inter_edges in
+  if Obs.enabled () then begin
+    Obs.Metric.count "pipeline.clusters" decomposition.k;
+    Obs.Metric.count "pipeline.inter_edges" inter;
+    Obs.Metric.set_max "pipeline.diameter_bound" b;
+    Array.iter
+      (fun (vs, _, _) -> Obs.Metric.hist "pipeline.cluster_size" (List.length vs))
+      geometry
+  end;
   let base_report =
     {
       epsilon;
@@ -123,7 +136,10 @@ let prepare ?(mode = Simulated) ?(pool = Parallel.Pool.sequential) g ~epsilon
       { graph = g; decomposition; view; leader_of; clusters;
         report = base_report }
   | Simulated ->
-      let election = Distr.Leader_election.run view ~rounds:b in
+      let election =
+        Obs.Span.with_ "pipeline.election" (fun () ->
+            Distr.Leader_election.run view ~rounds:b)
+      in
       if not (Distr.Leader_election.check view election) then
         failwith "Pipeline.prepare: leader election failed";
       let leader_of = election.leader_of in
@@ -142,7 +158,9 @@ let prepare ?(mode = Simulated) ?(pool = Parallel.Pool.sequential) g ~epsilon
       in
       let logn = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.)) in
       let initial_budget = max 64 (4 * b * b * logn) in
-      let gather = gather_with initial_budget 0 in
+      let gather =
+        Obs.Span.with_ "pipeline.gather" (fun () -> gather_with initial_budget 0)
+      in
       let clusters = build_clusters geometry leader_of in
       let simulated_rounds =
         election.stats.Congest.Network.rounds

@@ -68,10 +68,12 @@ let chop_once g labels ~width st =
 let chop g ~width ~levels ~seed =
   if width < 1 || levels < 1 then
     invalid_arg "Kpr.chop: need width >= 1 and levels >= 1";
+  Obs.Span.with_ "kpr.chop" @@ fun () ->
   let st = Random.State.make [| seed; 547 |] in
   let labels = ref (Array.make (Graph.n g) 0) in
-  for _ = 1 to levels do
-    labels := chop_once g !labels ~width st
+  for level = 1 to levels do
+    Obs.Span.with_ (Printf.sprintf "level-%d" level) (fun () ->
+        labels := chop_once g !labels ~width st)
   done;
   (* bands may be internally disconnected; split into connected clusters so
      the partition has finite strong diameters *)
@@ -89,7 +91,9 @@ let chop g ~width ~levels ~seed =
         comp;
       fresh := !fresh + count)
     members;
-  Partition.of_labels g sub_labels
+  let part = Partition.of_labels g sub_labels in
+  Obs.Metric.count "kpr.clusters" part.Partition.k;
+  part
 
 let ldd g ~epsilon ~levels ~seed =
   if epsilon <= 0. then invalid_arg "Kpr.ldd: epsilon must be > 0";

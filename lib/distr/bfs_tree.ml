@@ -14,6 +14,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~roots ~rounds =
+  Obs.Span.with_ "distr.bfs_tree" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

@@ -12,6 +12,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~sources ~rounds =
+  Obs.Span.with_ "distr.broadcast" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

@@ -16,6 +16,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~b =
+  Obs.Span.with_ "distr.diameter_check" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

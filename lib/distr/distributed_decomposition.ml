@@ -389,6 +389,7 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
 let decompose ?(params = default_params) g ~epsilon =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Distributed_decomposition.decompose: need 0 < epsilon < 1";
+  Obs.Span.with_ "distr.decompose" @@ fun () ->
   let n = Graph.n g in
   let m = Graph.m g in
   let tau =
@@ -405,6 +406,9 @@ let decompose ?(params = default_params) g ~epsilon =
   let continue = ref true in
   while !continue && !levels < params.max_levels do
     incr levels;
+    (* one span per level: Network.run meters inside attribute this level's
+       rounds/messages to it *)
+    Obs.Span.with_ (Printf.sprintf "level-%d" !levels) @@ fun () ->
     let view = Cluster_view.of_labels g !labels in
     (* leaders and depth budget for this level *)
     let leaders = Leader_election.run view ~rounds:n in

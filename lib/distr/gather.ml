@@ -9,6 +9,7 @@ type result = {
 }
 
 let run (view : Cluster_view.t) ~leader_of ~density ~walk_len ~seed ~max_rounds =
+  Obs.Span.with_ "distr.gather" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let orientation = Orientation.run view ~density () in

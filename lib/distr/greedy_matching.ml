@@ -22,6 +22,7 @@ type state = {
    globally best live edge is mutual, so every phase makes progress and the
    matching is maximal when no live edge remains. Two rounds per phase. *)
 let run (view : Cluster_view.t) ?weights ~seed () =
+  Obs.Span.with_ "distr.greedy_matching" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   ignore seed;

@@ -17,6 +17,7 @@ type state = {
 let better (d1, i1) (d2, i2) = d1 > d2 || (d1 = d2 && i1 > i2)
 
 let run (view : Cluster_view.t) ~rounds =
+  Obs.Span.with_ "distr.leader_election" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

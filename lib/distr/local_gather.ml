@@ -24,6 +24,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
+  Obs.Span.with_ "distr.local_gather" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

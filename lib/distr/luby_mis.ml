@@ -20,6 +20,7 @@ type state = {
 type msg = Draw of int | Joined | Died
 
 let run (view : Cluster_view.t) ~seed =
+  Obs.Span.with_ "distr.luby_mis" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

@@ -14,6 +14,7 @@ type state = {
 
 let run (view : Cluster_view.t) ~beta ~seed =
   if beta <= 0. then invalid_arg "Mpx_clustering.run: beta must be > 0";
+  Obs.Span.with_ "distr.mpx_clustering" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

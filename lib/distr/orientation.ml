@@ -18,6 +18,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~density ?(delta = 0.5) () =
+  Obs.Span.with_ "distr.orientation" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let threshold = bound ~density ~delta in

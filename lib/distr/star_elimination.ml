@@ -19,6 +19,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~max_iterations =
+  Obs.Span.with_ "distr.star_elimination" @@ fun () ->
   let g = view.graph in
   let n = Sparse_graph.Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

@@ -20,6 +20,7 @@ type state = {
 }
 
 let run (view : Cluster_view.t) ~leader_of ~tokens_of ~max_rounds =
+  Obs.Span.with_ "distr.tree_routing" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in

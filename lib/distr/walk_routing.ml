@@ -30,6 +30,7 @@ let token_words = 3 (* origin, seq, step counter *)
 
 let run (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
     ~max_rounds =
+  Obs.Span.with_ "distr.walk_routing" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
   let intra =

@@ -1,0 +1,9 @@
+(* The repo's only sanctioned wall-clock sink (linter rule D003 exempts
+   exactly this file). Every timing read — bench harness wall times, span
+   durations, trace timestamps — flows through here, so clock values can
+   never leak into result paths unnoticed: any other call site of
+   Unix.gettimeofday / Sys.time fails the @lint build. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let wall_s () = Unix.gettimeofday ()

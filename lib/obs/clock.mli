@@ -1,0 +1,9 @@
+(** The single sanctioned clock module (the D003 linter sink). All
+    wall-clock reads in the repo must go through these two functions. *)
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds since the Unix epoch. Used for span
+    durations and trace timestamps; never fold the value into results. *)
+
+val wall_s : unit -> float
+(** Wall clock in seconds, for harness-level elapsed-time reporting. *)

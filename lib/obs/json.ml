@@ -1,0 +1,277 @@
+(* Minimal JSON value type, printer and recursive-descent parser. The
+   exporters emit through this module so key order is exactly the order
+   the caller constructed (deterministic sections stay byte-stable), and
+   bin/check_profile.exe parses with the same code, so the schema checker
+   and the emitter can never drift on syntax. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* finite floats only; the exporters never emit nan/inf *)
+      Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b v;
+  Buffer.contents b
+
+(* pretty printer: two-space indent, keys in construction order *)
+let rec emit_pretty b indent = function
+  | List ([] : t list) -> Buffer.add_string b "[]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | List xs ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad';
+          emit_pretty b (indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b pad;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          emit_pretty b (indent + 2) v)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b pad;
+      Buffer.add_char b '}'
+  | v -> emit b v
+
+let to_string_pretty v =
+  let b = Buffer.create 4096 in
+  emit_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let error c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let parse_string_raw c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+        | Some '"' -> advance c; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char b '/'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then error c "truncated \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> error c "bad \\u escape"
+            | Some code ->
+                c.pos <- c.pos + 4;
+                (* ASCII range only; the exporters never emit more *)
+                if code < 128 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_char b '?');
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error c (Printf.sprintf "bad number %S" text))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '"' -> Str (parse_string_raw c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string_raw c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ()
+          | Some '}' -> advance c
+          | _ -> error c "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements ()
+          | Some ']' -> advance c
+          | _ -> error c "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then error c "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* accessors for the checker                                            *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None

@@ -1,0 +1,27 @@
+(** Minimal JSON values: deterministic printing (keys in construction
+    order) and a strict parser, shared by the exporters and the
+    [bin/check_profile.exe] schema checker. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line form. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented form, trailing newline. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parse; raises {!Parse_error} on malformed input or trailing
+    bytes. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up a field; [None] on other constructors. *)

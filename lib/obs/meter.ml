@@ -1,0 +1,22 @@
+(* CONGEST cost meter. Congest.Network.run reports every simulation's
+   final accounting here, which attributes rounds / messages / bits to
+   the enclosing span — so a leader election inside a pipeline inside a
+   bench experiment shows up as congest.* counters on exactly that path,
+   and E1-E12 get measured round/message tables instead of bare
+   outcomes. The names below are the meter's stable vocabulary; the
+   schema checker and the tests both pin them. *)
+
+let k_runs = "congest.runs"
+let k_rounds = "congest.rounds"
+let k_messages = "congest.messages"
+let k_bits = "congest.bits"
+let k_max_edge_bits = "congest.max_edge_bits"
+
+let net ~rounds ~messages ~total_bits ~max_edge_bits =
+  if Rt.is_enabled () then begin
+    Metric.incr k_runs;
+    Metric.count k_rounds rounds;
+    Metric.count k_messages messages;
+    Metric.count k_bits total_bits;
+    Metric.set_max k_max_edge_bits max_edge_bits
+  end

@@ -1,0 +1,15 @@
+(** CONGEST cost meter: attributes simulator accounting to the enclosing
+    span. Hooked by [Congest.Network.run]; the metric names are stable
+    schema vocabulary. *)
+
+val k_runs : string
+val k_rounds : string
+val k_messages : string
+val k_bits : string
+val k_max_edge_bits : string
+
+val net :
+  rounds:int -> messages:int -> total_bits:int -> max_edge_bits:int -> unit
+(** Record one network run: [rounds]/[messages]/[total_bits] add to the
+    current span's counters; [max_edge_bits] max-merges. No-op while
+    observability is disabled. *)

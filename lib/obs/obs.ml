@@ -1,0 +1,32 @@
+(* Public face of the observability subsystem (see DESIGN.md section 9).
+
+   Obs is dependency-free (unix only, for the one sanctioned clock read
+   in Clock) and sits below every other library in the build graph, so
+   congest, parallel, spectral, decomp, distr, core and the bench all
+   link it without cycles. Disabled — the default — every instrumented
+   site costs one atomic load and a branch. *)
+
+module Clock = Clock
+module Json = Json
+module Agg = Agg
+module Span = Span
+module Metric = Metric
+module Meter = Meter
+module Trace = Trace
+module Export = Export
+
+let enable = Rt.enable
+
+let disable = Rt.disable
+
+let enabled = Rt.is_enabled
+
+(* Drop all recorded data and detach every per-domain buffer (they
+   re-register lazily on next use). Call between independent measured
+   sections; never call from inside an open span. *)
+let reset = Rt.reset
+
+(* merged aggregate + raw trace slices; take after parallel sections join *)
+let snapshot = Rt.snapshot
+
+let snapshot_tree () = fst (Rt.snapshot ())

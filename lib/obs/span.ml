@@ -1,0 +1,31 @@
+(* Hierarchical spans. [with_] is the only way code opens one, so every
+   span is balanced and exception-safe; when observability is disabled it
+   reduces to one atomic load, a branch and the call to [f]. *)
+
+let with_ ?(args = []) name f =
+  if not (Rt.is_enabled ()) then f ()
+  else begin
+    let st = Rt.state () in
+    Rt.span_begin st name args;
+    Fun.protect ~finally:(fun () -> Rt.span_end st) f
+  end
+
+(* per-pool-task span: the task index doubles as the seed salt the pool
+   derives per-task seeds from, so the trace identifies the task *)
+let task i f = with_ ~args:[ ("task", string_of_int i) ] "pool.task" f
+
+let current_path () =
+  if not (Rt.is_enabled ()) then []
+  else
+    let st = Rt.state () in
+    Rt.current_path st
+
+(* Installed by pool workers before they start draining tasks: the
+   caller's span path at fan-out time becomes the worker's base path, so
+   a task records under the same path whether it runs inline (jobs 1) or
+   on a worker domain (jobs N) — required for cross-jobs parity. *)
+let set_ambient path =
+  if Rt.is_enabled () then begin
+    let st = Rt.state () in
+    st.Rt.d_ambient <- path
+  end

@@ -1,0 +1,21 @@
+(** Hierarchical, monotonic-clock-timed, domain-tagged spans. *)
+
+val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span called [name], nested under the
+    current span of the calling domain. Exception-safe. When
+    observability is disabled this is one atomic load and a branch. The
+    optional [args] are attached to the Chrome-trace slice only — they
+    never enter the deterministic aggregate. *)
+
+val task : int -> (unit -> 'a) -> 'a
+(** A [pool.task] span carrying the task index as a trace arg; used by
+    [Parallel.Pool] around every fanned-out task. *)
+
+val current_path : unit -> string list
+(** The calling domain's current span path (outermost first); [[]] when
+    disabled or outside any span. *)
+
+val set_ambient : string list -> unit
+(** Install a base path for this domain: spans and metrics recorded with
+    an empty stack attach under it. Pool workers install the fan-out
+    caller's path so jobs-1 and jobs-N runs aggregate identically. *)

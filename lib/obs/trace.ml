@@ -1,0 +1,40 @@
+(* Chrome trace_event exporter: complete events ("ph":"X"), one lane per
+   domain, microsecond timestamps rebased to the earliest slice. The
+   output loads directly in chrome://tracing and in Perfetto
+   (ui.perfetto.dev, "Open trace file"). Timestamps are wall-clock
+   derived and therefore intentionally outside the determinism
+   contract. *)
+
+let event_json ~t0 (e : Rt.event) =
+  let fields =
+    [
+      ("name", Json.Str e.Rt.ev_name);
+      ("cat", Json.Str "span");
+      ("ph", Json.Str "X");
+      ("ts", Json.Int ((e.Rt.ev_ts_ns - t0) / 1_000));
+      ("dur", Json.Int (max 1 (e.Rt.ev_dur_ns / 1_000)));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.Rt.ev_tid);
+    ]
+  in
+  let fields =
+    match e.Rt.ev_args with
+    | [] -> fields
+    | args ->
+        fields
+        @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ]
+  in
+  Json.Obj fields
+
+let to_json events =
+  let t0 =
+    List.fold_left
+      (fun acc (e : Rt.event) -> min acc e.Rt.ev_ts_ns)
+      max_int events
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (event_json ~t0) events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

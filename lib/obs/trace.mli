@@ -1,0 +1,4 @@
+(** Chrome [trace_event] exporter (complete events, one lane per domain);
+    the output loads in chrome://tracing and Perfetto. *)
+
+val to_json : Rt.event list -> Json.t

@@ -23,18 +23,26 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 let mapi pool f arr =
   let n = Array.length arr in
   let workers = min pool.jobs n in
-  if workers <= 1 || Domain.DLS.get in_worker then Array.mapi f arr
+  if workers <= 1 || Domain.DLS.get in_worker then
+    (* sequential path: tasks still get their pool.task spans so the
+       deterministic observability aggregate is identical at any jobs
+       value (Obs.Span.task is a no-op while Obs is disabled) *)
+    Array.mapi (fun i x -> Obs.Span.task i (fun () -> f i x)) arr
   else begin
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
+    (* the fan-out caller's span path: installed as every worker domain's
+       ambient path so a task aggregates under the same path whether it
+       runs inline or on a fresh domain *)
+    let span_base = Obs.Span.current_path () in
     let work () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else
-          match f i arr.(i) with
+          match Obs.Span.task i (fun () -> f i arr.(i)) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some e
       done
@@ -43,6 +51,7 @@ let mapi pool f arr =
       Array.init (workers - 1) (fun _ ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
+              Obs.Span.set_ambient span_base;
               work ()))
     in
     (* the calling domain is a worker too; flag it so its tasks also treat

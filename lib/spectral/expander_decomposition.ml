@@ -62,6 +62,7 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
     ~epsilon =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Expander_decomposition.decompose: need 0 < epsilon < 1";
+  Obs.Span.with_ "decompose" @@ fun () ->
   let n = Graph.n g in
   let m = Graph.m g in
   let tau =
@@ -104,25 +105,35 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
          (fun i vs -> { rev_path = [ i ]; depth = 0; vs })
          (Traversal.component_list g))
   in
+  (* one observability span per recursion level: the frontier wave at
+     depth d runs inside "level-d", so the trace shows the recursion's
+     shape and each level's task/accept counts are measured *)
+  let wave = ref 0 in
   while !frontier <> [] do
-    let tasks = Array.of_list !frontier in
-    let outcomes = Parallel.Pool.map pool step tasks in
-    let next = ref [] in
-    Array.iteri
-      (fun i outcome ->
-        let t = tasks.(i) in
-        match outcome with
-        | Accept -> accepted := (List.rev t.rev_path, t.vs) :: !accepted
-        | Drop -> ()
-        | Split children ->
-            List.iteri
-              (fun j vs ->
-                next :=
-                  { rev_path = j :: t.rev_path; depth = t.depth + 1; vs }
-                  :: !next)
-              children)
-      outcomes;
-    frontier := List.rev !next
+    Obs.Span.with_ (Printf.sprintf "level-%d" !wave) (fun () ->
+        let tasks = Array.of_list !frontier in
+        Obs.Metric.count "tasks" (Array.length tasks);
+        let outcomes = Parallel.Pool.map pool step tasks in
+        let next = ref [] in
+        Array.iteri
+          (fun i outcome ->
+            let t = tasks.(i) in
+            match outcome with
+            | Accept ->
+                Obs.Metric.incr "accepted";
+                accepted := (List.rev t.rev_path, t.vs) :: !accepted
+            | Drop -> ()
+            | Split children ->
+                Obs.Metric.incr "split";
+                List.iteri
+                  (fun j vs ->
+                    next :=
+                      { rev_path = j :: t.rev_path; depth = t.depth + 1; vs }
+                      :: !next)
+                  children)
+          outcomes;
+        frontier := List.rev !next);
+    incr wave
   done;
   let accepted =
     List.sort (fun (p1, _) (p2, _) -> compare (p1 : int list) p2) !accepted
@@ -141,6 +152,14 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
       []
     |> List.rev
   in
+  if Obs.enabled () then begin
+    Obs.Metric.count "clusters" !next_label;
+    Obs.Metric.count "inter_edges" (List.length inter_edges);
+    Obs.Metric.set_max "levels" !wave;
+    List.iter
+      (fun (_, vs) -> Obs.Metric.hist "cluster_size" (List.length vs))
+      accepted
+  end;
   {
     labels;
     k = !next_label;

@@ -144,6 +144,33 @@ let test_d003_negative () =
   in
   check "no clock, no finding" 0 (count_rule "D003" fs)
 
+let test_d003_obs_clock_exempt () =
+  (* lib/obs/clock.ml is the single sanctioned wall-clock sink: raw clock
+     primitives are allowed there without suppression comments *)
+  let fs =
+    fresh
+      [
+        ( "lib/obs/clock.ml",
+          "let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)\n\
+           let wall_s () = Unix.gettimeofday ()" );
+      ]
+  in
+  check "sanctioned clock module passes" 0 (count_rule "D003" fs)
+
+let test_d003_other_clock_module_flagged () =
+  (* the exemption is the exact path, not any file called clock.ml or any
+     directory called obs *)
+  let fs =
+    fresh
+      [
+        ("lib/fake/clock.ml", "let now () = Unix.gettimeofday ()");
+        ("lib/obs/timer.ml", "let now () = Unix.gettimeofday ()");
+        ("bench/obs/clock.ml", "let now () = Unix.gettimeofday ()");
+      ]
+  in
+  check "clock reads outside lib/obs/clock.ml stay flagged" 3
+    (count_rule "D003" fs)
+
 (* ------------------------------------------------------------------ *)
 (* P001: domain-unsafe parallel task                                    *)
 (* ------------------------------------------------------------------ *)
@@ -412,6 +439,8 @@ let () =
         [
           t "clocks flagged" test_d003_positive;
           t "no clock passes" test_d003_negative;
+          t "Obs.Clock exempt" test_d003_obs_clock_exempt;
+          t "other clock modules flagged" test_d003_other_clock_module_flagged;
         ] );
       ( "p001",
         [

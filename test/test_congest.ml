@@ -244,6 +244,118 @@ let test_empty_graph_run () =
   checkb "completed" true stats.Network.completed;
   check "one round" 1 stats.Network.rounds
 
+(* ------------------------------------------------------------------ *)
+(* Hand-computed accounting, asserted directly and via the obs meter    *)
+(* ------------------------------------------------------------------ *)
+
+(* run [f] inside an enabled, freshly reset Obs span and return its
+   result together with the span's aggregate node *)
+let with_meter f =
+  Obs.reset ();
+  Obs.enable ();
+  let r = Obs.Span.with_ "net" f in
+  let tree = Obs.snapshot_tree () in
+  Obs.disable ();
+  match Obs.Agg.find_path tree [ "net" ] with
+  | Some node -> (r, node)
+  | None -> Alcotest.fail "meter recorded no span"
+
+let metered (node : Obs.Agg.node) key =
+  match Obs.Agg.SMap.find_opt key node.Obs.Agg.sums with
+  | Some v -> v
+  | None -> 0
+
+(* the meter must agree with the directly returned stats, field by field *)
+let assert_meter_agrees (node : Obs.Agg.node) (stats : Network.stats) =
+  check "meter: one run" 1 (metered node Obs.Meter.k_runs);
+  check "meter: rounds" stats.Network.rounds (metered node Obs.Meter.k_rounds);
+  check "meter: messages" stats.Network.messages
+    (metered node Obs.Meter.k_messages);
+  check "meter: bits" stats.Network.total_bits (metered node Obs.Meter.k_bits);
+  check "meter: max edge bits" stats.Network.max_edge_bits
+    (match Obs.Agg.SMap.find_opt Obs.Meter.k_max_edge_bits node.Obs.Agg.maxes with
+    | Some v -> v
+    | None -> 0)
+
+let test_broadcast_accounting_hand_computed () =
+  (* path 0-1-2-3, broadcast from vertex 0. A vertex that is informed at
+     the start of a round forwards to all neighbors and halts; its final
+     sends still go out (the PR-1 halting-round semantics). By hand:
+       round 1: 0 sends to {1}            -> 1 message
+       round 2: 1 sends to {0,2}          -> 2 messages (0 halted: dropped)
+       round 3: 2 sends to {1,3}          -> 2 messages
+       round 4: 3 sends to {2}, all halted -> 1 message
+     rounds 4, messages 6, each 5 bits, max one message per directed
+     edge per round, last traffic in round 4. *)
+  let g = Generators.path 4 in
+  let msg_bits = 5 in
+  let init (ctx : Network.ctx) = ctx.id = 0 in
+  let round _ (ctx : Network.ctx) informed inbox =
+    let informed = informed || inbox <> [] in
+    if informed then
+      {
+        Network.state = true;
+        send = Array.to_list (Array.map (fun w -> (w, ())) ctx.neighbors);
+        halt = true;
+      }
+    else { Network.state = false; send = []; halt = false }
+  in
+  let (states, stats), node =
+    with_meter (fun () ->
+        Network.run g ~bandwidth:(Network.Congest msg_bits)
+          ~msg_bits:(fun () -> msg_bits)
+          ~init ~round ~max_rounds:10)
+  in
+  Array.iter (fun s -> checkb "everyone informed" true s) states;
+  check "rounds" 4 stats.Network.rounds;
+  check "messages" 6 stats.Network.messages;
+  check "total bits" (6 * msg_bits) stats.Network.total_bits;
+  check "max edge bits" msg_bits stats.Network.max_edge_bits;
+  checkb "completed" true stats.Network.completed;
+  check "last traffic round" 4 stats.Network.last_traffic_round;
+  assert_meter_agrees node stats
+
+let test_halting_round_accounting () =
+  (* vertex 0 sends in the same round it halts; the message is delivered
+     to vertex 1 in round 2 and must be counted exactly once *)
+  let g = Generators.path 2 in
+  let init _ = false in
+  let round _ (ctx : Network.ctx) got inbox =
+    if ctx.id = 0 then
+      { Network.state = got; send = [ (1, 99) ]; halt = true }
+    else
+      let got = got || List.exists (fun (_, x) -> x = 99) inbox in
+      { Network.state = got; send = []; halt = got }
+  in
+  let (states, stats), node =
+    with_meter (fun () ->
+        Network.run g ~bandwidth:Network.Local
+          ~msg_bits:(fun _ -> 7)
+          ~init ~round ~max_rounds:5)
+  in
+  checkb "final send delivered" true states.(1);
+  check "rounds" 2 stats.Network.rounds;
+  check "one message" 1 stats.Network.messages;
+  check "bits" 7 stats.Network.total_bits;
+  check "max edge bits" 7 stats.Network.max_edge_bits;
+  checkb "completed" true stats.Network.completed;
+  check "last traffic round" 1 stats.Network.last_traffic_round;
+  assert_meter_agrees node stats
+
+let test_meter_silent_when_disabled () =
+  Obs.reset ();
+  Obs.disable ();
+  let g = Generators.path 2 in
+  let _ =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round:(fun _ _ () _ -> { Network.state = (); send = []; halt = true })
+      ~max_rounds:2
+  in
+  let tree = Obs.snapshot_tree () in
+  checkb "nothing recorded" true (Obs.Agg.SMap.is_empty tree.Obs.Agg.sums)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "congest"
@@ -264,5 +376,12 @@ let () =
           tc "halting-round sends delivered" test_halting_round_sends_delivered;
           tc "bit accounting helper" test_bits_helper;
           tc "degenerate empty graph" test_empty_graph_run;
+        ] );
+      ( "accounting",
+        [
+          tc "hand-computed broadcast, stats and meter"
+            test_broadcast_accounting_hand_computed;
+          tc "halting-round sends counted once" test_halting_round_accounting;
+          tc "meter silent when disabled" test_meter_silent_when_disabled;
         ] );
     ]
