@@ -796,3 +796,95 @@ let smoke () =
   print_table ~title:"smoke: pipeline / KPR / distributed decomposition"
     ~header:[ "family"; "n"; "k"; "sim rounds"; "kpr k"; "distr k" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: drop-rate x algorithm grid over the retry-hardened      *)
+(* primitives on a lossy CONGEST network (lib/congest/faults.ml).       *)
+(* bench/main.ml sets the refs from --fault-seed / --drop-rate; cell    *)
+(* seeds are derived from the sweep seed before the grid fans out, so   *)
+(* the table is byte-identical across reruns and --jobs settings.       *)
+(* ------------------------------------------------------------------ *)
+
+let fault_seed = ref 20220711
+let fault_rates = ref [ 0.0; 0.05; 0.1; 0.2 ]
+
+let fault_sweep () =
+  note "\n### fault-sweep: retry-hardened primitives on a lossy network\n";
+  note "claim: ack/retry broadcast, heartbeat BFS and heartbeat-evict election\n";
+  note "complete under seeded Bernoulli drops (duplication rate = drop/4);\n";
+  note "'rounds' is the smallest budget from a fixed ladder that passes the\n";
+  note "algorithm's own checker, 'quiesce' the last round with traffic\n";
+  let seed0 = !fault_seed in
+  let rates = !fault_rates in
+  let fams =
+    [
+      ("grid", Workloads.grid_of 64);
+      ("apollonian", Generators.random_apollonian 64 ~seed:51);
+    ]
+  in
+  let algs = [ "broadcast"; "bfs"; "election" ] in
+  let cells =
+    List.mapi
+      (fun idx ((fam, alg), p) -> (fam, alg, p, Parallel.Pool.derive_seed seed0 idx))
+      (cartesian (cartesian fams algs) rates)
+  in
+  let rows =
+    grid cells (fun ((fname, g), alg, p, seed) ->
+        let view = Distr.Cluster_view.whole g in
+        let n = Graph.n g in
+        let diam = Traversal.diameter_double_sweep g in
+        let faults =
+          Congest.Faults.make ~drop_rate:p ~duplicate_rate:(p /. 4.) ~seed ()
+        in
+        let budgets =
+          [ diam + 2; (2 * diam) + 12; (4 * diam) + 30; (8 * diam) + 80 ]
+        in
+        (* smallest budget from the ladder that passes the checker *)
+        let attempt rounds =
+          match alg with
+          | "broadcast" ->
+              let sources =
+                Array.init n (fun v -> if v = 0 then Some 424242 else None)
+              in
+              let r = Distr.Broadcast.run_reliable ~faults view ~sources ~rounds in
+              (Distr.Broadcast.check view r ~sources, r.stats)
+          | "bfs" ->
+              let roots = Array.init n (fun v -> v = 0) in
+              let r = Distr.Bfs_tree.run_reliable ~faults view ~roots ~rounds in
+              (Distr.Bfs_tree.check view r ~roots, r.stats)
+          | _ ->
+              let r =
+                Distr.Leader_election.run_reliable ~faults
+                  ~patience:((2 * diam) + 8) view ~rounds
+              in
+              (Distr.Leader_election.check view r, r.stats)
+        in
+        let rec first_passing = function
+          | [] -> (false, List.nth budgets (List.length budgets - 1))
+          | b :: rest ->
+              let ok, _ = attempt b in
+              if ok then (true, b) else first_passing rest
+        in
+        let ok, budget = first_passing budgets in
+        let _, stats = attempt budget in
+        let s = stats in
+        [
+          [
+            fname; alg; f2 p; i n; i diam;
+            (if ok then "yes" else "NO");
+            i budget;
+            i s.Congest.Network.last_traffic_round;
+            i s.Congest.Network.messages;
+            i s.Congest.Network.dropped;
+            i s.Congest.Network.duplicated;
+            i s.Congest.Network.max_edge_bits;
+          ];
+        ])
+  in
+  print_table
+    ~title:
+      "fault-sweep: completion of retry-hardened primitives under message loss"
+    ~header:
+      [ "family"; "alg"; "drop"; "n"; "diam"; "ok"; "rounds"; "quiesce";
+        "messages"; "dropped"; "dup"; "max bits" ]
+    rows

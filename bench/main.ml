@@ -14,6 +14,10 @@
    experiment is recorded in the timings file (default
    BENCH_parallel.json; override with --timings PATH).
 
+   The fault-sweep experiment takes --fault-seed N (sweep PRNG seed,
+   default 20220711) and --drop-rate F (restrict the sweep to one drop
+   rate instead of the default ladder 0 / 0.05 / 0.1 / 0.2).
+
    Observability (lib/obs) is enabled for the table experiments: each
    runs inside an "exp.<name>" span, so the timings file also carries
    per-phase wall-clock taken from the span tree. --profile PATH writes
@@ -145,6 +149,7 @@ let experiments =
     ("e11", Experiments.e11);
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
+    ("fault-sweep", Experiments.fault_sweep);
     ("smoke", Experiments.smoke);
     ("timing", timing);
   ]
@@ -201,10 +206,27 @@ let () =
         | _ ->
             Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
             exit 1)
+    | "--fault-seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s ->
+            Experiments.fault_seed := s;
+            parse_args acc jobs profile trace timings rest
+        | None ->
+            Printf.eprintf "--fault-seed expects an integer, got %S\n" v;
+            exit 1)
+    | "--drop-rate" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some p when p >= 0. && p <= 1. ->
+            Experiments.fault_rates := [ p ];
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--drop-rate expects a float in [0, 1], got %S\n" v;
+            exit 1)
     | "--profile" :: p :: rest -> parse_args acc jobs (Some p) trace timings rest
     | "--trace" :: p :: rest -> parse_args acc jobs profile (Some p) timings rest
     | "--timings" :: p :: rest -> parse_args acc jobs profile trace p rest
-    | [ (("--jobs" | "--profile" | "--trace" | "--timings") as flag) ] ->
+    | [ (("--jobs" | "--profile" | "--trace" | "--timings" | "--fault-seed"
+        | "--drop-rate") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         exit 1
     | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest

@@ -5,7 +5,9 @@
 
    --schema structurally validates a profile emitted by bench/main.exe
    --profile: schema name/version, the deterministic section (span tree
-   of integer counters, totals, peaks) and the volatile section. With
+   of integer counters, totals, peaks) and the volatile section; fault
+   counters (net.dropped / net.duplicated / net.crashed_rounds) must be
+   non-negative and never exceed congest.messages in the same node. With
    --trace it also checks the Chrome trace_event file is well-formed
    (an object with a traceEvents list of complete events). --compare
    parses two profiles and fails unless their deterministic sections
@@ -41,6 +43,24 @@ let require path name j =
   | Some v -> v
   | None -> fail "%s: missing %S member" path name
 
+(* fault counters recorded by Obs.Meter.faults: non-negative, and a span
+   cannot drop more messages than it sent *)
+let fault_counters = [ "net.dropped"; "net.duplicated"; "net.crashed_rounds" ]
+
+let check_fault_counters path ctx fields =
+  List.iter
+    (fun k ->
+      match List.assoc_opt k fields with
+      | Some (Json.Int v) when v < 0 -> fail "%s: %s.%s is negative" path ctx k
+      | _ -> ())
+    fault_counters;
+  match (List.assoc_opt "net.dropped" fields,
+         List.assoc_opt "congest.messages" fields)
+  with
+  | Some (Json.Int d), Some (Json.Int m) when d > m ->
+      fail "%s: %s has net.dropped = %d > congest.messages = %d" path ctx d m
+  | _ -> ()
+
 let int_object path ctx = function
   | Json.Obj fields ->
       List.iter
@@ -48,7 +68,8 @@ let int_object path ctx = function
           match v with
           | Json.Int _ -> ()
           | _ -> fail "%s: %s.%s is not an integer" path ctx k)
-        fields
+        fields;
+      check_fault_counters path ctx fields
   | _ -> fail "%s: %s is not an object" path ctx
 
 (* the deterministic span tree: count plus optional metrics/max/children *)

@@ -27,20 +27,26 @@ type ('state, 'msg) step = {
 type stats = {
   rounds : int;
   messages : int;
+  dropped : int;
+  duplicated : int;
+  crashed_rounds : int;
   total_bits : int;
   max_edge_bits : int;
   completed : bool;
   last_traffic_round : int;
 }
 
+let delivered s = s.messages - s.dropped
+
 let pp_stats ppf s =
   Format.fprintf ppf
-    "rounds=%d messages=%d total_bits=%d max_edge_bits=%d completed=%b \
-     last_traffic=%d"
-    s.rounds s.messages s.total_bits s.max_edge_bits s.completed
-    s.last_traffic_round
+    "rounds=%d messages=%d dropped=%d duplicated=%d crashed_rounds=%d \
+     total_bits=%d max_edge_bits=%d completed=%b last_traffic=%d"
+    s.rounds s.messages s.dropped s.duplicated s.crashed_rounds s.total_bits
+    s.max_edge_bits s.completed s.last_traffic_round
 
-let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
+let run ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round ~max_rounds
+    =
   let n = Graph.n g in
   let ctxs =
     Array.init n (fun v ->
@@ -50,11 +56,50 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
   let halted = Array.make n false in
   let inboxes : (int * 'msg) list array = Array.make n [] in
   let messages = ref 0 in
+  let dropped = ref 0 in
+  let duplicated = ref 0 in
+  let crashed_rounds = ref 0 in
   let total_bits = ref 0 in
   let max_edge_bits = ref 0 in
   let last_traffic = ref 0 in
   let rounds = ref 0 in
   let live = ref n in
+  (* fault bookkeeping: all of it dormant when the spec is inactive. A
+     crashed vertex leaves [live] (a permanently crashed vertex must not
+     block completion) and re-enters on recovery. Fault randomness is
+     drawn from the spec's own seeded state in the simulator's
+     deterministic traversal order, so runs are byte-identical across
+     reruns and worker-pool sizes. *)
+  let faulty = Faults.is_active faults in
+  let crashed = Array.make n false in
+  let frng = Faults.rng faults in
+  let crash_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  let recover_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  if faulty then
+    List.iter
+      (fun (c : Faults.crash) ->
+        if c.vertex < n then begin
+          Hashtbl.add crash_at c.at_round c.vertex;
+          match c.recover_round with
+          | Some r -> Hashtbl.add recover_at r c.vertex
+          | None -> ()
+        end)
+      faults.crashes;
+  let link_down =
+    if faults.outages = [] then fun _ _ _ -> false
+    else begin
+      let tbl : (int * int, int * int) Hashtbl.t = Hashtbl.create 7 in
+      List.iter
+        (fun (o : Faults.outage) ->
+          let key = (min o.u o.v, max o.u o.v) in
+          Hashtbl.add tbl key (o.from_round, o.until_round))
+        faults.outages;
+      fun r a b ->
+        List.exists
+          (fun (lo, hi) -> lo <= r && r <= hi)
+          (Hashtbl.find_all tbl (min a b, max a b))
+    end
+  in
   (* scratch for the per-directed-edge bandwidth accounting, reused across
      vertices and rounds; [touched] lists the destinations to reset *)
   let edge_bits = Array.make n 0 in
@@ -77,10 +122,36 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
   while !live > 0 && !rounds < max_rounds do
     incr rounds;
     let r = !rounds in
+    (* crash / recovery events take effect at the start of the round: a
+       vertex crashing in round r does not execute round r; a vertex
+       recovering in round r executes round r with its pre-crash state
+       and an empty inbox *)
+    if faulty then begin
+      List.iter
+        (fun v ->
+          if crashed.(v) && not halted.(v) then begin
+            crashed.(v) <- false;
+            incr live
+          end)
+        (Hashtbl.find_all recover_at r);
+      List.iter
+        (fun v ->
+          if (not crashed.(v)) && not halted.(v) then begin
+            crashed.(v) <- true;
+            inboxes.(v) <- [];
+            decr live
+          end)
+        (Hashtbl.find_all crash_at r)
+    end;
     (* collect this round's traffic; per directed edge bit accounting *)
     let outgoing = Array.make n [] in
     for v = 0 to n - 1 do
-      if not halted.(v) then begin
+      if halted.(v) then inboxes.(v) <- []
+      else if crashed.(v) then begin
+        inboxes.(v) <- [];
+        incr crashed_rounds
+      end
+      else begin
         let inbox =
           List.stable_sort
             (fun (a, _) (b, _) -> compare a b)
@@ -96,7 +167,6 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
           decr live
         end
       end
-      else inboxes.(v) <- []
     done;
     for v = 0 to n - 1 do
       (* enforce bandwidth per directed edge (v -> w) *)
@@ -121,20 +191,47 @@ let run g ~bandwidth ~msg_bits ~init ~round ~max_rounds =
           if now > !max_edge_bits then max_edge_bits := now;
           incr messages;
           last_traffic := r;
-          if not halted.(w) then inboxes.(w) <- (v, msg) :: inboxes.(w))
+          (* fate of the message: the sender has spent the bandwidth
+             either way; every non-delivery is counted in [dropped] so
+             that delivered + dropped = messages always holds *)
+          if faulty && link_down r v w then incr dropped
+          else if crashed.(w) then incr dropped
+          else if halted.(w) then incr dropped
+          else if
+            faults.drop_rate > 0.
+            && Random.State.float frng 1. < faults.drop_rate
+          then incr dropped
+          else begin
+            inboxes.(w) <- (v, msg) :: inboxes.(w);
+            if
+              faults.duplicate_rate > 0.
+              && Random.State.float frng 1. < faults.duplicate_rate
+            then begin
+              inboxes.(w) <- (v, msg) :: inboxes.(w);
+              incr duplicated
+            end
+          end)
         outgoing.(v);
       List.iter (fun w -> edge_bits.(w) <- 0) !touched;
       touched := []
     done
   done;
   (* cost-meter hook: attribute this run's accounting to the enclosing
-     observability span (no-op unless Obs is enabled) *)
+     observability span (no-op unless Obs is enabled). Fault counters are
+     only reported for runs with an active fault spec, so fault-free
+     profiles stay byte-identical to a build without the fault layer. *)
   Obs.Meter.net ~rounds:!rounds ~messages:!messages ~total_bits:!total_bits
     ~max_edge_bits:!max_edge_bits;
+  if faulty then
+    Obs.Meter.faults ~dropped:!dropped ~duplicated:!duplicated
+      ~crashed_rounds:!crashed_rounds;
   ( states,
     {
       rounds = !rounds;
       messages = !messages;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      crashed_rounds = !crashed_rounds;
       total_bits = !total_bits;
       max_edge_bits = !max_edge_bits;
       completed = !live = 0;

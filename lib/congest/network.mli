@@ -49,16 +49,29 @@ type ('state, 'msg) step = {
   halt : bool;
 }
 
-(** Cumulative execution statistics. *)
+(** Cumulative execution statistics. The accounting invariant is
+    [delivered stats + stats.dropped = stats.messages]: every sent message
+    is either delivered into an inbox or counted as dropped (injected
+    fault, destination crashed, or destination already halted). *)
 type stats = {
   rounds : int;                (** rounds executed *)
-  messages : int;              (** total messages delivered *)
+  messages : int;              (** total messages sent (bandwidth spent) *)
+  dropped : int;               (** sent but never delivered: faults plus
+                                   messages to crashed/halted vertices *)
+  duplicated : int;            (** extra deliveries injected by the fault
+                                   layer (not counted in [messages]) *)
+  crashed_rounds : int;        (** vertex-rounds spent crashed *)
   total_bits : int;            (** total declared bits sent *)
   max_edge_bits : int;         (** max bits on one directed edge in one round *)
-  completed : bool;            (** every vertex halted before the round cap *)
+  completed : bool;            (** every vertex halted (or crashed) before
+                                   the round cap *)
   last_traffic_round : int;    (** last round in which any message was sent;
                                    0 if the run was silent *)
 }
+
+(** [messages - dropped]: messages that actually reached an inbox (each
+    duplicated message is delivered once more on top of this). *)
+val delivered : stats -> int
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -69,9 +82,19 @@ val pp_stats : Format.formatter -> stats -> unit
     message)] pairs received this round, sorted by sender). Execution stops
     when every vertex has halted, or after [max_rounds] rounds.
 
+    [?faults] injects deterministic faults (see {!Faults}): dropped and
+    duplicated messages, vertex crash / crash-recover schedules, and link
+    outages. Crashed vertices execute no round function and send nothing;
+    a permanently crashed vertex counts toward completion (the network
+    cannot wait for it). Senders are charged bandwidth for dropped
+    messages — the loss happens on the wire, after the send. With
+    [Faults.none] (the default) the run is byte-identical to one without
+    the argument, and no fault counters reach the cost meter.
+
     @raise Congestion_violation when a CONGEST budget is exceeded.
     @raise Invalid_argument if a vertex sends to a non-neighbor. *)
 val run :
+  ?faults:Faults.t ->
   Sparse_graph.Graph.t ->
   bandwidth:bandwidth ->
   msg_bits:('msg -> int) ->

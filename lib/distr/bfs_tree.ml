@@ -52,6 +52,83 @@ let run (view : Cluster_view.t) ~roots ~rounds =
     stats;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Retry-hardened variant: instead of a one-shot announcement, every     *)
+(* attached vertex heartbeats its current depth to all intra neighbors   *)
+(* each round. The per-round refresh is the retransmission (a dropped    *)
+(* heartbeat is re-sent next round), re-parenting to any strictly        *)
+(* better neighbor converges depths to true BFS distances, and a parent  *)
+(* whose heartbeat goes silent for [patience] rounds is presumed         *)
+(* crashed: the subtree orphans itself and re-roots onto the live tree.  *)
+(* ------------------------------------------------------------------ *)
+
+type hstate = {
+  hparent : int;
+  hdepth : int;
+  last_heard : int;  (* round the parent's heartbeat was last received *)
+}
+
+let run_reliable ?faults ?(patience = 6) (view : Cluster_view.t) ~roots
+    ~rounds =
+  Obs.Span.with_ "distr.bfs_tree_reliable" @@ fun () ->
+  let g = view.graph in
+  let n = Graph.n g in
+  let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in
+  let init (ctx : Network.ctx) =
+    if roots.(ctx.id) then { hparent = ctx.id; hdepth = 0; last_heard = 0 }
+    else { hparent = -1; hdepth = -1; last_heard = 0 }
+  in
+  let round r (ctx : Network.ctx) st inbox =
+    let self = ctx.id in
+    let is_root = roots.(self) in
+    (* follow the parent's announced depth; note when it was heard *)
+    let st =
+      if is_root then st
+      else
+        List.fold_left
+          (fun st (sender, d) ->
+            if sender = st.hparent then
+              { st with hdepth = d + 1; last_heard = r }
+            else st)
+          st inbox
+    in
+    (* re-parent to the strictly best offer (min depth, then min id) *)
+    let st =
+      if is_root then st
+      else
+        List.fold_left
+          (fun st (sender, d) ->
+            if d >= 0 && (st.hdepth < 0 || d + 1 < st.hdepth) then
+              { hparent = sender; hdepth = d + 1; last_heard = r }
+            else st)
+          st inbox
+    in
+    (* crash detection: a silent parent orphans the vertex *)
+    let st =
+      if
+        (not is_root) && st.hparent >= 0
+        && r - st.last_heard > patience
+      then { st with hparent = -1; hdepth = -1 }
+      else st
+    in
+    let send =
+      if st.hdepth >= 0 then List.map (fun w -> (w, st.hdepth)) intra.(self)
+      else []
+    in
+    { Network.state = st; send; halt = r > rounds }
+  in
+  let states, stats =
+    Network.run ?faults g
+      ~bandwidth:(Network.congest_bandwidth ~c:16 n)
+      ~msg_bits:(fun _ -> Bits.words n 1)
+      ~init ~round ~max_rounds:(rounds + 1)
+  in
+  {
+    parent = Array.map (fun st -> st.hparent) states;
+    depth = Array.map (fun st -> st.hdepth) states;
+    stats;
+  }
+
 let check (view : Cluster_view.t) (result : result) ~roots =
   let g = view.graph in
   let n = Graph.n g in

@@ -14,6 +14,18 @@ type result = {
     value [x >= 0]. *)
 val run : Cluster_view.t -> sources:int option array -> rounds:int -> result
 
+(** Retry-hardened broadcast: informed vertices offer their value to each
+    intra-cluster neighbor through the {!Reliable} ack/retry/backoff
+    transport, so the flood completes under the fault model of
+    {!Congest.Faults} (message drops and duplication; crashed vertices
+    stay uninformed). Needs a [rounds] budget with slack over the
+    diameter: each lost hop costs one backoff interval. Runs in CONGEST
+    with a [16 log n]-bit budget (the retry framing costs a constant
+    factor over the plain flood's word). *)
+val run_reliable :
+  ?faults:Congest.Faults.t ->
+  Cluster_view.t -> sources:int option array -> rounds:int -> result
+
 (** Every vertex in a cluster with a (unique) source must receive the
     source's value. *)
 val check : Cluster_view.t -> result -> sources:int option array -> bool

@@ -12,6 +12,13 @@ let k_messages = "congest.messages"
 let k_bits = "congest.bits"
 let k_max_edge_bits = "congest.max_edge_bits"
 
+(* fault counters, reported by Congest.Network.run only for runs with an
+   active fault spec — a fault-free run records nothing here, keeping
+   fault-free profiles byte-identical to builds without the fault layer *)
+let k_dropped = "net.dropped"
+let k_duplicated = "net.duplicated"
+let k_crashed_rounds = "net.crashed_rounds"
+
 let net ~rounds ~messages ~total_bits ~max_edge_bits =
   if Rt.is_enabled () then begin
     Metric.incr k_runs;
@@ -19,4 +26,11 @@ let net ~rounds ~messages ~total_bits ~max_edge_bits =
     Metric.count k_messages messages;
     Metric.count k_bits total_bits;
     Metric.set_max k_max_edge_bits max_edge_bits
+  end
+
+let faults ~dropped ~duplicated ~crashed_rounds =
+  if Rt.is_enabled () then begin
+    Metric.count k_dropped dropped;
+    Metric.count k_duplicated duplicated;
+    Metric.count k_crashed_rounds crashed_rounds
   end

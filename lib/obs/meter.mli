@@ -8,8 +8,18 @@ val k_messages : string
 val k_bits : string
 val k_max_edge_bits : string
 
+val k_dropped : string
+val k_duplicated : string
+val k_crashed_rounds : string
+
 val net :
   rounds:int -> messages:int -> total_bits:int -> max_edge_bits:int -> unit
 (** Record one network run: [rounds]/[messages]/[total_bits] add to the
     current span's counters; [max_edge_bits] max-merges. No-op while
     observability is disabled. *)
+
+val faults : dropped:int -> duplicated:int -> crashed_rounds:int -> unit
+(** Record one faulty network run's fault counters ([net.dropped],
+    [net.duplicated], [net.crashed_rounds]). Called by the simulator only
+    when the fault spec is active, so fault-free profiles carry no fault
+    vocabulary. No-op while observability is disabled. *)

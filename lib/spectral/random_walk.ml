@@ -30,8 +30,14 @@ let is_mixed g p =
   let pi = stationary g in
   let n = float_of_int (Graph.n g) in
   let ok = ref true in
+  (* the check is restricted to the support of the stationary distribution:
+     a degree-0 vertex has pi = 0, so its threshold pi/n is 0 and any graph
+     with an isolated vertex would report "never mixes" — even though the
+     lazy walk is exact there (the mass never moves) *)
   Array.iteri
-    (fun u pu -> if abs_float (pu -. pi.(u)) > pi.(u) /. n then ok := false)
+    (fun u pu ->
+      if pi.(u) > 0. && abs_float (pu -. pi.(u)) > pi.(u) /. n then
+        ok := false)
     p;
   !ok
 
@@ -48,8 +54,13 @@ let mixing_time_from g v ~max_t =
   go 0
 
 let mixing_time g ~max_t =
+  (* starts outside the stationary support are skipped: the walk from a
+     degree-0 vertex stays there forever, which is exact for its (trivial)
+     component but can never match the stationary distribution of the rest
+     of the graph *)
   let rec go v worst =
     if v = Graph.n g then Some worst
+    else if Graph.degree g v = 0 then go (v + 1) worst
     else
       match mixing_time_from g v ~max_t with
       | None -> None

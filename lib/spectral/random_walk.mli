@@ -17,17 +17,21 @@ val step : Sparse_graph.Graph.t -> float array -> float array
 val distribution : Sparse_graph.Graph.t -> int -> int -> float array
 
 (** [is_mixed g p] tests the paper's mixing criterion
-    [|p(u) - pi(u)| <= pi(u) / n] for all [u]. *)
+    [|p(u) - pi(u)| <= pi(u) / n] for all [u] in the support of the
+    stationary distribution. Degree-0 vertices are excluded: their
+    threshold [pi(u) / n] is 0, so any isolated vertex would report
+    "never mixes" even though the lazy walk is exact there. *)
 val is_mixed : Sparse_graph.Graph.t -> float array -> bool
 
 (** [mixing_time_from g v ~max_t] is the smallest [t <= max_t] whose
     distribution from [v] satisfies {!is_mixed}, or [None]. *)
 val mixing_time_from : Sparse_graph.Graph.t -> int -> max_t:int -> int option
 
-(** [mixing_time g ~max_t] is the maximum of {!mixing_time_from} over all
-    start vertices — the paper's [tau_mix(G)] — or [None] if some vertex
-    fails to mix within [max_t]. Quadratic in [n]: for tests and small
-    graphs. *)
+(** [mixing_time g ~max_t] is the maximum of {!mixing_time_from} over
+    start vertices in the stationary support (a walk started on a
+    degree-0 vertex stays there, trivially exact for its component) —
+    the paper's [tau_mix(G)] — or [None] if some vertex fails to mix
+    within [max_t]. Quadratic in [n]: for tests and small graphs. *)
 val mixing_time : Sparse_graph.Graph.t -> max_t:int -> int option
 
 (** [sample_walk g ~start ~steps ~rng] samples one lazy-walk trajectory and

@@ -50,7 +50,14 @@ let sweep g embedding =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Sweep_cut.sweep: need at least 2 vertices";
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare embedding.(a) embedding.(b)) order;
+  (* ties between equal embedding values break by vertex id: Array.sort is
+     unstable, so without the tie-break the returned cut would depend on
+     sort internals rather than on the input *)
+  Array.sort
+    (fun a b ->
+      let c = compare embedding.(a) embedding.(b) in
+      if c <> 0 then c else compare a b)
+    order;
   let total_vol = 2 * Graph.m g in
   let inside = Array.make n false in
   let cut = ref 0 in

@@ -57,6 +57,33 @@ let test_d001_self_init_state () =
   in
   check "make_self_init flagged" 1 (count_rule "D001" fs)
 
+(* the fault-injection RNG pattern (lib/congest/faults.ml): a state seeded
+   from an explicit integer array, drawn with Random.State — D001-clean *)
+let test_d001_fault_rng_clean () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/faults.ml",
+          "let rng t = Random.State.make [| t.seed; 0x6A09; 0xE667 |]\n\
+           let drops t st = Random.State.float st 1. < t.drop_rate" );
+      ]
+  in
+  check "seeded fault rng passes" 0 (count_rule "D001" fs)
+
+(* the same layer written against the global PRNG must be flagged: the
+   drop decisions would then depend on ambient draws and break the
+   cross-jobs byte-identity contract *)
+let test_d001_fault_rng_global_flagged () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/faults.ml",
+          "let drops t = Random.float 1. < t.drop_rate\n\
+           let dups t = Random.bool ()" );
+      ]
+  in
+  check "global fault rng flagged" 2 (count_rule "D001" fs)
+
 (* ------------------------------------------------------------------ *)
 (* D002: unordered-iteration escape                                     *)
 (* ------------------------------------------------------------------ *)
@@ -426,6 +453,8 @@ let () =
           t "global draws flagged" test_d001_positive;
           t "seeded state passes" test_d001_negative;
           t "make_self_init flagged" test_d001_self_init_state;
+          t "seeded fault rng passes" test_d001_fault_rng_clean;
+          t "global fault rng flagged" test_d001_fault_rng_global_flagged;
         ] );
       ( "d002",
         [

@@ -149,6 +149,35 @@ let test_halted_vertices_drop_messages () =
   check "vertex 0 received nothing" 0 !got;
   checkb "completed" true stats.Network.completed
 
+(* Regression: the seed simulator silently discarded messages addressed
+   to a vertex that halted in the same round — they were counted as sent
+   but never as lost, so no accounting identity held. They now land in
+   [stats.dropped] and [delivered + dropped = messages] is an invariant. *)
+let test_halted_destination_drops_counted () =
+  let g = Generators.path 2 in
+  let init _ = () in
+  let round r (ctx : Network.ctx) () _ =
+    if ctx.id = 1 then { Network.state = (); send = []; halt = true }
+    else
+      { Network.state = ();
+        send = [ (1, ()) ];
+        halt = r >= 3 }
+  in
+  let _, stats =
+    Network.run g ~bandwidth:Network.Local
+      ~msg_bits:(fun () -> 1)
+      ~init ~round ~max_rounds:5
+  in
+  (* vertex 1 halts in round 1; all three sends (including the round-1
+     send, in flight while the destination halted) are charged and lost *)
+  check "messages charged" 3 stats.Network.messages;
+  check "all counted as dropped" 3 stats.Network.dropped;
+  check "nothing delivered" 0 (Network.delivered stats);
+  check "invariant" stats.Network.messages
+    (Network.delivered stats + stats.Network.dropped);
+  check "no fault layer involved" 0 stats.Network.duplicated;
+  check "no crashes" 0 stats.Network.crashed_rounds
+
 let test_stats_accounting () =
   let g = Generators.cycle 4 in
   let init _ = () in
@@ -370,6 +399,8 @@ let () =
           tc "LOCAL mode unbounded" test_local_mode_unbounded;
           tc "non-neighbor send rejected" test_send_to_non_neighbor_rejected;
           tc "halted vertices drop input" test_halted_vertices_drop_messages;
+          tc "halted-destination drops counted"
+            test_halted_destination_drops_counted;
           tc "statistics accounting" test_stats_accounting;
           tc "bandwidth helper" test_bandwidth_helper;
           tc "bandwidth at powers of two" test_bandwidth_powers_of_two;

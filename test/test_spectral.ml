@@ -94,6 +94,24 @@ let test_mixing_unmixed_none () =
   let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
   checkb "never mixes" true (Random_walk.mixing_time g ~max_t:50 = None)
 
+(* Regression: the mixing criterion |p(u) - pi(u)| <= pi(u)/n has a zero
+   threshold at degree-0 vertices, so any graph with an isolated vertex
+   reported "never mixes". The check is now restricted to the stationary
+   support, and mixing_time skips isolated start vertices (the walk from
+   one never moves). *)
+let test_mixing_ignores_isolated_vertices () =
+  (* one edge plus an isolated vertex: the walk on the edge component is
+     already stationary after one step *)
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  checkb "is_mixed on the support" true
+    (Random_walk.is_mixed g (Random_walk.distribution g 0 1));
+  (match Random_walk.mixing_time g ~max_t:10 with
+  | Some t -> Alcotest.(check int) "mixes in one step" 1 t
+  | None -> Alcotest.fail "graph with isolated vertex reported as unmixed");
+  (* the isolated start is skipped, not treated as mixing trivially *)
+  checkb "mixing_time_from isolated start never mixes" true
+    (Random_walk.mixing_time_from g 2 ~max_t:10 = None)
+
 let test_sample_walk_valid () =
   let g = Generators.grid 5 5 in
   let rng = Random.State.make [| 7 |] in
@@ -161,6 +179,28 @@ let test_certified_lower_bound () =
   let lb = Sweep_cut.certified_lower_bound cut in
   let phi = Conductance.exact g in
   checkb "lower bound below true Phi (converged)" true (lb <= phi +. 0.05)
+
+(* Regression: Array.sort is unstable, so ties between equal embedding
+   values made the returned cut depend on sort internals. Ties now break
+   by vertex id; these cuts are pinned exactly. *)
+let test_sweep_tie_break_by_vertex_id () =
+  (* constant embedding: the sweep order is decided entirely by the
+     tie-break, so the best prefix is the first three ids *)
+  let g = Generators.cycle 6 in
+  let cut = Sweep_cut.sweep g (Array.make 6 0.) in
+  Alcotest.(check (array bool))
+    "constant embedding cuts the lowest ids"
+    [| true; true; true; false; false; false |]
+    cut.side;
+  checkf "arc conductance" ~eps:1e-9 (2. /. 6.) cut.conductance;
+  (* two-level embedding with ties inside each level: among the equally
+     good prefixes the id order makes {1} the deterministic winner *)
+  let g4 = Generators.cycle 4 in
+  let cut4 = Sweep_cut.sweep g4 [| 1.; 0.; 1.; 0. |] in
+  Alcotest.(check (array bool))
+    "equal values sweep in id order"
+    [| false; true; false; false |]
+    cut4.side
 
 let test_bfs_sweep_path () =
   (* BFS sweep finds the middle cut of a path exactly *)
@@ -441,6 +481,8 @@ let () =
           tc "complete graph mixes fast" test_walk_converges_complete;
           tc "mixing reflects conductance" test_mixing_monotone_in_conductance;
           tc "disconnected never mixes" test_mixing_unmixed_none;
+          tc "isolated vertices excluded from mixing"
+            test_mixing_ignores_isolated_vertices;
           tc "sampled walk follows edges" test_sample_walk_valid;
         ] );
       ( "sweep_cut",
@@ -451,6 +493,7 @@ let () =
           tc "sweep upper-bounds exact Phi" test_sweep_vs_exact_cheeger;
           tc "near-optimal on cycle" test_sweep_near_optimal_on_cycle;
           tc "certified lower bound sane" test_certified_lower_bound;
+          tc "tie-break by vertex id" test_sweep_tie_break_by_vertex_id;
           tc "bfs sweep on path" test_bfs_sweep_path;
           tc "tree cut exact on trees" test_tree_cut_exact_on_trees;
           tc "tree cut on augmented trees" test_tree_cut_with_extra_edges;
