@@ -888,3 +888,251 @@ let fault_sweep () =
       [ "family"; "alg"; "drop"; "n"; "diam"; "ok"; "rounds"; "quiesce";
         "messages"; "dropped"; "dup"; "max bits" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* congest-bench: the active-vertex scheduler against the reference     *)
+(* loop. Each workload runs the same init / round function through      *)
+(* Network.run_reference and Network.run ~schedule:Event_driven,        *)
+(* asserts identical statistics, and records simulated rounds/sec and   *)
+(* minor-heap allocation per round in BENCH_congest.json.               *)
+(* bench/main.ml sets the refs from --congest-n / --congest-out.        *)
+(* ------------------------------------------------------------------ *)
+
+let congest_n = ref 20_000
+let congest_out = ref "BENCH_congest.json"
+
+(* a congest-bench workload: a graph plus a scheduler-agnostic algorithm
+   obeying the wake-up contract, so both loops compute the same run *)
+type 'a congest_workload = {
+  cw_name : string;
+  cw_graph : Graph.t;
+  cw_round : int -> Congest.Network.ctx -> int -> (int * int) list ->
+             (int, int) Congest.Network.step;
+  cw_init : Congest.Network.ctx -> int;
+  cw_max_rounds : int;
+}
+
+let congest_workloads n =
+  let open Congest in
+  let mix a b =
+    ((a * 0x9e3779b1) lxor ((b * 0x85ebca6b) + 0x27d4eb2f)) land 0xfffffff
+  in
+  (* heartbeat: one endpoint of a long path beats every round while the
+     other n - 2 vertices sleep — the sparse-frontier case the scheduler
+     exists for *)
+  let hb_rounds = 300 in
+  let heartbeat =
+    {
+      cw_name = "heartbeat";
+      cw_graph = Generators.path n;
+      cw_init = (fun _ -> 0);
+      cw_max_rounds = hb_rounds + 1;
+      cw_round =
+        (fun r (ctx : Network.ctx) st inbox ->
+          let st = st + List.length inbox in
+          if r > hb_rounds then Network.step st ~halt:true
+          else if ctx.id = 0 then
+            Network.step st
+              ~send:[ (ctx.neighbors.(0), r land 0xff) ]
+              ~wake_after:1
+          else Network.step st ~wake_after:(hb_rounds + 1 - r));
+    }
+  in
+  (* broadcast: a single value floods a grid; each vertex forwards once,
+     so the frontier is the BFS wavefront *)
+  let bgrid = Workloads.grid_of n in
+  let bn = Graph.n bgrid in
+  let bside = max 2 (int_of_float (sqrt (float_of_int bn))) in
+  let bbudget = (2 * bside) + 4 in
+  let broadcast =
+    {
+      cw_name = "broadcast";
+      cw_graph = bgrid;
+      cw_init = (fun (ctx : Network.ctx) -> if ctx.id = 0 then 424242 else -1);
+      cw_max_rounds = bbudget + 1;
+      cw_round =
+        (fun r (ctx : Network.ctx) best inbox ->
+          let nb = List.fold_left (fun b (_, x) -> max b x) best inbox in
+          if r > bbudget then Network.step nb ~halt:true
+          else begin
+            let send =
+              if (r = 1 && ctx.id = 0) || nb > best then
+                Array.to_list (Array.map (fun w -> (w, nb)) ctx.neighbors)
+              else []
+            in
+            Network.step nb ~send ~wake_after:(bbudget + 1 - r)
+          end);
+    }
+  in
+  (* bfs: depths propagate down a random tree from vertex 0 *)
+  let tgraph = Generators.random_tree n ~seed:20220711 in
+  let tbudget = Traversal.diameter_double_sweep tgraph + 2 in
+  let bfs =
+    {
+      cw_name = "bfs";
+      cw_graph = tgraph;
+      cw_init = (fun (ctx : Network.ctx) -> if ctx.id = 0 then 0 else -1);
+      cw_max_rounds = tbudget + 1;
+      cw_round =
+        (fun r (ctx : Network.ctx) depth inbox ->
+          if r > tbudget then Network.step depth ~halt:true
+          else begin
+            let adopted =
+              if depth >= 0 then depth
+              else
+                List.fold_left
+                  (fun acc (_, d) -> if acc < 0 || d + 1 < acc then d + 1 else acc)
+                  (-1) inbox
+            in
+            let send =
+              if adopted >= 0 && depth < 0 then
+                Array.to_list
+                  (Array.map (fun w -> (w, adopted)) ctx.neighbors)
+              else if r = 1 && ctx.id = 0 then
+                Array.to_list (Array.map (fun w -> (w, 0)) ctx.neighbors)
+              else []
+            in
+            Network.step adopted ~send ~wake_after:(tbudget + 1 - r)
+          end);
+    }
+  in
+  (* mis: hash-priority Luby rounds on the grid — the full-frontier case
+     where Event_driven cannot skip anything and the flat inbox plumbing
+     carries the win. States: -1 undecided, 0 out, 1 in; messages:
+     2p = priority announcement, 1 = joined. *)
+  let mn = Graph.n bgrid in
+  let mbudget = 2 * (24 + (mn / max 1 (mn / 64))) in
+  let mis =
+    {
+      cw_name = "mis";
+      cw_graph = bgrid;
+      cw_init = (fun _ -> -1);
+      cw_max_rounds = mbudget;
+      cw_round =
+        (fun r (ctx : Network.ctx) st inbox ->
+          if st >= 0 then Network.step st ~halt:true
+          else if r land 1 = 1 then begin
+            (* odd: absorb join notices; survivors announce priorities *)
+            if List.exists (fun (_, m) -> m = 1) inbox then
+              Network.step 0 ~halt:true
+            else begin
+              let p = 2 * mix ctx.id r in
+              Network.step st
+                ~send:
+                  (Array.to_list (Array.map (fun w -> (w, p)) ctx.neighbors))
+                ~wake_after:1
+            end
+          end
+          else begin
+            (* even: strict local maximum joins and notifies *)
+            let mine = 2 * mix ctx.id (r - 1) in
+            let beaten =
+              List.exists (fun (_, m) -> m land 1 = 0 && m >= mine) inbox
+            in
+            if beaten then Network.step st ~wake_after:1
+            else
+              Network.step 1
+                ~send:
+                  (Array.to_list (Array.map (fun w -> (w, 1)) ctx.neighbors))
+                ~wake_after:1
+          end);
+    }
+  in
+  [ heartbeat; broadcast; bfs; mis ]
+
+let congest_bench () =
+  note "\n### congest-bench: event-driven scheduler vs reference loop\n";
+  note "claim: identical stats; large speedups on sparse frontiers\n";
+  let bench_one cw =
+    let n = Graph.n cw.cw_graph in
+    let msg_bits _ = Congest.Bits.id_bits n in
+    let steps = ref 0 in
+    let counted_round r ctx st inbox =
+      incr steps;
+      cw.cw_round r ctx st inbox
+    in
+    let measure f =
+      let mw0 = Gc.minor_words () in
+      let t0 = Obs.Clock.wall_s () in
+      let states, stats = f () in
+      let dt = Obs.Clock.wall_s () -. t0 in
+      let mw = Gc.minor_words () -. mw0 in
+      (states, (stats : Congest.Network.stats), max 1e-9 dt, mw)
+    in
+    steps := 0;
+    let ref_states, ref_stats, ref_s, ref_mw =
+      measure (fun () ->
+          Congest.Network.run_reference cw.cw_graph ~bandwidth:Congest.Network.Local
+            ~msg_bits ~init:cw.cw_init ~round:counted_round
+            ~max_rounds:cw.cw_max_rounds)
+    in
+    let ref_steps = !steps in
+    steps := 0;
+    let ev_states, ev_stats, ev_s, ev_mw =
+      measure (fun () ->
+          Congest.Network.run cw.cw_graph ~schedule:Congest.Network.Event_driven
+            ~bandwidth:Congest.Network.Local ~msg_bits ~init:cw.cw_init
+            ~round:counted_round ~max_rounds:cw.cw_max_rounds)
+    in
+    let ev_steps = !steps in
+    let stats_equal = ref_stats = ev_stats && ref_states = ev_states in
+    let rounds = float_of_int (max 1 ref_stats.Congest.Network.rounds) in
+    let ref_rps = rounds /. ref_s and ev_rps = rounds /. ev_s in
+    let ref_wpr = ref_mw /. rounds and ev_wpr = ev_mw /. rounds in
+    let side label seconds rps wpr steps =
+      ( label,
+        Obs.Json.Obj
+          [
+            ("seconds", Obs.Json.Float seconds);
+            ("rounds_per_sec", Obs.Json.Float rps);
+            ("minor_words_per_round", Obs.Json.Float wpr);
+            ("round_calls", Obs.Json.Int steps);
+          ] )
+    in
+    let json =
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.Str cw.cw_name);
+          ("n", Obs.Json.Int n);
+          ("rounds", Obs.Json.Int ref_stats.Congest.Network.rounds);
+          ("messages", Obs.Json.Int ref_stats.Congest.Network.messages);
+          ("active_vertices", Obs.Json.Int ev_steps);
+          side "reference" ref_s ref_rps ref_wpr ref_steps;
+          side "event" ev_s ev_rps ev_wpr ev_steps;
+          ("speedup", Obs.Json.Float (ev_rps /. ref_rps));
+          ( "alloc_ratio",
+            Obs.Json.Float (ref_wpr /. max 1e-9 ev_wpr) );
+          ("stats_equal", Obs.Json.Bool stats_equal);
+        ]
+    in
+    let row =
+      [
+        cw.cw_name; i n;
+        i ref_stats.Congest.Network.rounds;
+        i ref_stats.Congest.Network.messages;
+        i ref_steps; i ev_steps;
+        f1 (ev_rps /. ref_rps);
+        f1 (ref_wpr /. max 1e-9 ev_wpr);
+        (if stats_equal then "yes" else "NO");
+      ]
+    in
+    (json, row)
+  in
+  let results = List.map bench_one (congest_workloads !congest_n) in
+  print_table
+    ~title:"congest-bench: Event_driven vs run_reference"
+    ~header:
+      [ "workload"; "n"; "rounds"; "messages"; "ref calls"; "event calls";
+        "speedup"; "alloc ratio"; "stats eq" ]
+    (List.map snd results);
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "expander-congest-bench");
+        ("version", Obs.Json.Int 1);
+        ("n", Obs.Json.Int !congest_n);
+        ("workloads", Obs.Json.List (List.map fst results));
+      ]
+  in
+  Obs.Export.write_file !congest_out (Obs.Json.to_string_pretty doc);
+  Printf.printf "[congest-bench written to %s]\n" !congest_out

@@ -150,6 +150,7 @@ let experiments =
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
     ("fault-sweep", Experiments.fault_sweep);
+    ("congest-bench", Experiments.congest_bench);
     ("smoke", Experiments.smoke);
     ("timing", timing);
   ]
@@ -222,11 +223,22 @@ let () =
         | _ ->
             Printf.eprintf "--drop-rate expects a float in [0, 1], got %S\n" v;
             exit 1)
+    | "--congest-n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 4 ->
+            Experiments.congest_n := m;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--congest-n expects an integer >= 4, got %S\n" v;
+            exit 1)
+    | "--congest-out" :: p :: rest ->
+        Experiments.congest_out := p;
+        parse_args acc jobs profile trace timings rest
     | "--profile" :: p :: rest -> parse_args acc jobs (Some p) trace timings rest
     | "--trace" :: p :: rest -> parse_args acc jobs profile (Some p) timings rest
     | "--timings" :: p :: rest -> parse_args acc jobs profile trace p rest
     | [ (("--jobs" | "--profile" | "--trace" | "--timings" | "--fault-seed"
-        | "--drop-rate") as flag) ] ->
+        | "--drop-rate" | "--congest-n" | "--congest-out") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         exit 1
     | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest

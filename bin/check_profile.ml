@@ -2,6 +2,7 @@
 
      check_profile.exe --schema PROFILE [--trace TRACE]
      check_profile.exe --compare A B
+     check_profile.exe --congest-bench BENCH
 
    --schema structurally validates a profile emitted by bench/main.exe
    --profile: schema name/version, the deterministic section (span tree
@@ -12,8 +13,11 @@
    (an object with a traceEvents list of complete events). --compare
    parses two profiles and fails unless their deterministic sections
    are identical after canonical re-serialization — the cross-run /
-   cross---jobs parity contract. Exit code 0 on success, 1 with a
-   message on the first violation found. *)
+   cross---jobs parity contract. --congest-bench validates a
+   BENCH_congest.json written by the congest-bench experiment: schema
+   name, per-workload structure, stats_equal = true everywhere, and
+   the scheduling invariant active_vertices <= n * rounds. Exit code 0
+   on success, 1 with a message on the first violation found. *)
 
 open Obs
 
@@ -156,10 +160,73 @@ let compare_profiles a b =
       (String.length ca)
   else fail "%s and %s: deterministic sections differ" a b
 
+(* BENCH_congest.json: the congest-bench scheduler comparison *)
+let congest_int path ctx w name =
+  match member name w with
+  | Some (Json.Int v) when v >= 0 -> v
+  | Some (Json.Int _) -> fail "%s: %s.%s is negative" path ctx name
+  | _ -> fail "%s: %s.%s missing or not an integer" path ctx name
+
+let check_congest_side path ctx w label =
+  match member label w with
+  | Some (Json.Obj _ as side) ->
+      List.iter
+        (fun k ->
+          (* whole-valued floats round-trip through the printer as ints *)
+          match member k side with
+          | Some (Json.Float v) when v >= 0. -> ()
+          | Some (Json.Int v) when v >= 0 -> ()
+          | Some (Json.Float _) | Some (Json.Int _) ->
+              fail "%s: %s.%s.%s is negative" path ctx label k
+          | _ ->
+              fail "%s: %s.%s.%s missing or not numeric" path ctx label k)
+        [ "seconds"; "rounds_per_sec"; "minor_words_per_round" ];
+      ignore (congest_int path (ctx ^ "." ^ label) side "round_calls")
+  | _ -> fail "%s: %s.%s missing or not an object" path ctx label
+
+let check_congest_bench path =
+  let doc = parse path in
+  (match require path "schema" doc with
+  | Json.Str "expander-congest-bench" -> ()
+  | Json.Str s ->
+      fail "%s: schema is %S, expected \"expander-congest-bench\"" path s
+  | _ -> fail "%s: schema is not a string" path);
+  (match require path "workloads" doc with
+  | Json.List [] -> fail "%s: workloads is empty" path
+  | Json.List ws ->
+      List.iteri
+        (fun idx w ->
+          let ctx = Printf.sprintf "workloads[%d]" idx in
+          (match member "name" w with
+          | Some (Json.Str _) -> ()
+          | _ -> fail "%s: %s.name missing or not a string" path ctx);
+          let n = congest_int path ctx w "n" in
+          let rounds = congest_int path ctx w "rounds" in
+          ignore (congest_int path ctx w "messages");
+          let active = congest_int path ctx w "active_vertices" in
+          (* the scheduling invariant: no loop steps a vertex more than
+             once per round *)
+          if active > n * rounds then
+            fail "%s: %s.active_vertices = %d > n * rounds = %d" path ctx
+              active (n * rounds);
+          check_congest_side path ctx w "reference";
+          check_congest_side path ctx w "event";
+          (match member "stats_equal" w with
+          | Some (Json.Bool true) -> ()
+          | Some (Json.Bool false) ->
+              fail "%s: %s.stats_equal is false — scheduler divergence" path
+                ctx
+          | _ -> fail "%s: %s.stats_equal missing or not a bool" path ctx))
+        ws;
+      Printf.printf "%s: congest-bench ok (%d workloads)\n" path
+        (List.length ws)
+  | _ -> fail "%s: workloads is not a list" path)
+
 let usage () =
   prerr_endline
     "usage: check_profile.exe --schema PROFILE [--trace TRACE]\n\
-    \       check_profile.exe --compare A B";
+    \       check_profile.exe --compare A B\n\
+    \       check_profile.exe --congest-bench BENCH";
   exit 2
 
 let () =
@@ -176,6 +243,11 @@ let () =
          exit 1)
   | [ _; "--compare"; a; b ] ->
       (try compare_profiles a b
+       with Bad msg ->
+         prerr_endline msg;
+         exit 1)
+  | [ _; "--congest-bench"; bench ] ->
+      (try check_congest_bench bench
        with Bad msg ->
          prerr_endline msg;
          exit 1)

@@ -22,7 +22,13 @@ type ('state, 'msg) step = {
   state : 'state;
   send : (int * 'msg) list;
   halt : bool;
+  wake_after : int option;
 }
+
+let step ?wake_after ?(send = []) ?(halt = false) state =
+  { state; send; halt; wake_after }
+
+type schedule = Every_round | Event_driven
 
 type stats = {
   rounds : int;
@@ -45,37 +51,12 @@ let pp_stats ppf s =
     s.rounds s.messages s.dropped s.duplicated s.crashed_rounds s.total_bits
     s.max_edge_bits s.completed s.last_traffic_round
 
-let run ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round ~max_rounds
-    =
-  let n = Graph.n g in
-  let ctxs =
-    Array.init n (fun v ->
-        { id = v; n_hint = n; neighbors = Array.of_list (Graph.neighbors g v) })
-  in
-  let states = Array.map init ctxs in
-  let halted = Array.make n false in
-  let inboxes : (int * 'msg) list array = Array.make n [] in
-  let messages = ref 0 in
-  let dropped = ref 0 in
-  let duplicated = ref 0 in
-  let crashed_rounds = ref 0 in
-  let total_bits = ref 0 in
-  let max_edge_bits = ref 0 in
-  let last_traffic = ref 0 in
-  let rounds = ref 0 in
-  let live = ref n in
-  (* fault bookkeeping: all of it dormant when the spec is inactive. A
-     crashed vertex leaves [live] (a permanently crashed vertex must not
-     block completion) and re-enters on recovery. Fault randomness is
-     drawn from the spec's own seeded state in the simulator's
-     deterministic traversal order, so runs are byte-identical across
-     reruns and worker-pool sizes. *)
-  let faulty = Faults.is_active faults in
-  let crashed = Array.make n false in
-  let frng = Faults.rng faults in
+(* Shared fault bookkeeping: crash / recovery schedules keyed by round and
+   the link-outage predicate. All of it dormant when the spec is inactive. *)
+let fault_tables (faults : Faults.t) n =
   let crash_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
   let recover_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
-  if faulty then
+  if Faults.is_active faults then
     List.iter
       (fun (c : Faults.crash) ->
         if c.vertex < n then begin
@@ -100,6 +81,44 @@ let run ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round ~max_rounds
           (Hashtbl.find_all tbl (min a b, max a b))
     end
   in
+  (crash_at, recover_at, link_down)
+
+(* ------------------------------------------------------------------ *)
+(* Reference loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-scheduler implementation, kept byte-for-byte in behavior as the
+   equivalence baseline for [run] and as the slow side of the congest-bench
+   comparison. It ignores [wake_after] and steps every non-halted,
+   non-crashed vertex every round. *)
+let run_reference ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round
+    ~max_rounds =
+  let n = Graph.n g in
+  let ctxs =
+    Array.init n (fun v ->
+        { id = v; n_hint = n; neighbors = Array.of_list (Graph.neighbors g v) })
+  in
+  let states = Array.map init ctxs in
+  let halted = Array.make n false in
+  let inboxes : (int * 'msg) list array = Array.make n [] in
+  let messages = ref 0 in
+  let dropped = ref 0 in
+  let duplicated = ref 0 in
+  let crashed_rounds = ref 0 in
+  let total_bits = ref 0 in
+  let max_edge_bits = ref 0 in
+  let last_traffic = ref 0 in
+  let rounds = ref 0 in
+  let live = ref n in
+  (* A crashed vertex leaves [live] (a permanently crashed vertex must not
+     block completion) and re-enters on recovery. Fault randomness is
+     drawn from the spec's own seeded state in the simulator's
+     deterministic traversal order, so runs are byte-identical across
+     reruns and worker-pool sizes. *)
+  let faulty = Faults.is_active faults in
+  let crashed = Array.make n false in
+  let frng = Faults.rng faults in
+  let crash_at, recover_at, link_down = fault_tables faults n in
   (* scratch for the per-directed-edge bandwidth accounting, reused across
      vertices and rounds; [touched] lists the destinations to reset *)
   let edge_bits = Array.make n 0 in
@@ -158,11 +177,11 @@ let run ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round ~max_rounds
             (List.rev inboxes.(v))
         in
         inboxes.(v) <- [];
-        let step = round r ctxs.(v) states.(v) inbox in
-        states.(v) <- step.state;
+        let st = round r ctxs.(v) states.(v) inbox in
+        states.(v) <- st.state;
         (* a halting vertex's final sends still go out this round *)
-        outgoing.(v) <- step.send;
-        if step.halt then begin
+        outgoing.(v) <- st.send;
+        if st.halt then begin
           halted.(v) <- true;
           decr live
         end
@@ -216,15 +235,454 @@ let run ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round ~max_rounds
       touched := []
     done
   done;
-  (* cost-meter hook: attribute this run's accounting to the enclosing
-     observability span (no-op unless Obs is enabled). Fault counters are
-     only reported for runs with an active fault spec, so fault-free
-     profiles stay byte-identical to a build without the fault layer. *)
   Obs.Meter.net ~rounds:!rounds ~messages:!messages ~total_bits:!total_bits
     ~max_edge_bits:!max_edge_bits;
   if faulty then
     Obs.Meter.faults ~dropped:!dropped ~duplicated:!duplicated
       ~crashed_rounds:!crashed_rounds;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      crashed_rounds = !crashed_rounds;
+      total_bits = !total_bits;
+      max_edge_bits = !max_edge_bits;
+      completed = !live = 0;
+      last_traffic_round = !last_traffic;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Active-vertex scheduler                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* in-place ascending quicksort of a.(0 .. len-1); entries are distinct
+   vertex ids, so partitioning details cannot affect the result *)
+let sort_prefix a len =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  in
+  let rec go lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do
+          incr i
+        done;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      go lo !j;
+      go !i hi
+    end
+  in
+  if len > 1 then go 0 (len - 1)
+
+(* The event-driven loop. The determinism contract it preserves, relied on
+   by the fault layer's RNG: per round, vertices execute in ascending id
+   order and each vertex's sends are processed in list order, so the k-th
+   [Random.State] draw of a run lands on the same message as in
+   [run_reference]. Under [Every_round] scheduling the sequence of round
+   calls is identical to the reference; under [Event_driven] it is a
+   subsequence that omits only steps the wake-up contract declares no-ops
+   (see network.mli), which send nothing and therefore draw nothing. *)
+let run ?(faults = Faults.none) ?(schedule = Every_round) g ~bandwidth
+    ~msg_bits ~init ~round ~max_rounds =
+  let n = Graph.n g in
+  let event = match schedule with Event_driven -> true | Every_round -> false in
+  let ctxs =
+    Array.init n (fun v ->
+        let d = Graph.degree g v in
+        { id = v; n_hint = n; neighbors = Array.init d (Graph.neighbor_at g v) })
+  in
+  let states = Array.map init ctxs in
+  let halted = Array.make n false in
+  (* Flat per-vertex inbox buffers, reused across rounds. Deliveries happen
+     sender-ascending within a round and sends are processed in list order,
+     which is exactly the order the reference loop's stable_sort + rev
+     reconstructs — so filling in arrival order needs no per-round sort. *)
+  let in_src : int array array = Array.make n [||] in
+  let in_msg : 'msg array array = Array.make n [||] in
+  let in_len = Array.make n 0 in
+  let push_inbox w src msg =
+    let len = in_len.(w) in
+    let cap = Array.length in_src.(w) in
+    if len = cap then begin
+      let cap' = if cap = 0 then 4 else 2 * cap in
+      let src' = Array.make cap' 0 in
+      Array.blit in_src.(w) 0 src' 0 len;
+      in_src.(w) <- src';
+      (* the arriving message doubles as the fill element, so growing never
+         needs a dummy 'msg value *)
+      let msg' = Array.make cap' msg in
+      Array.blit in_msg.(w) 0 msg' 0 len;
+      in_msg.(w) <- msg'
+    end;
+    in_src.(w).(len) <- src;
+    in_msg.(w).(len) <- msg;
+    in_len.(w) <- len + 1
+  in
+  let inbox_list v =
+    let src = in_src.(v) and msg = in_msg.(v) in
+    let acc = ref [] in
+    for i = in_len.(v) - 1 downto 0 do
+      acc := (src.(i), msg.(i)) :: !acc
+    done;
+    in_len.(v) <- 0;
+    !acc
+  in
+  let messages = ref 0 in
+  let dropped = ref 0 in
+  let duplicated = ref 0 in
+  let crashed_rounds = ref 0 in
+  let total_bits = ref 0 in
+  let max_edge_bits = ref 0 in
+  let last_traffic = ref 0 in
+  let rounds = ref 0 in
+  let live = ref n in
+  let faulty = Faults.is_active faults in
+  let crashed = Array.make n false in
+  let crashed_live = ref 0 in
+  let frng = Faults.rng faults in
+  let crash_at, recover_at, link_down = fault_tables faults n in
+  (* sorted distinct rounds at which a crash or recovery fires: the fault
+     events the fast-forward path must not jump over *)
+  let fault_rounds =
+    if not faulty then [||]
+    else
+      Array.of_list
+        (List.sort_uniq Int.compare
+           (Hashtbl.fold
+              (fun k _ acc -> k :: acc)
+              crash_at
+              (Hashtbl.fold (fun k _ acc -> k :: acc) recover_at [])))
+  in
+  let fr_idx = ref 0 in
+  let next_fault_round r =
+    while
+      !fr_idx < Array.length fault_rounds && fault_rounds.(!fr_idx) <= r
+    do
+      incr fr_idx
+    done;
+    if !fr_idx < Array.length fault_rounds then fault_rounds.(!fr_idx)
+    else max_int
+  in
+  (* worklists: [cur] is this round's schedule, [nxt] collects next round's;
+     [sched.(v)] is the latest round v is queued for (dedup stamp) *)
+  let cur = ref (Array.make n 0) and nxt = ref (Array.make n 0) in
+  let cur_len = ref 0 and nxt_len = ref 0 in
+  let sched = Array.make n (-1) in
+  let exec = Array.make n 0 in
+  let exec_len = ref 0 in
+  let active_total = ref 0 in
+  (* wake-up requests: [wake_at.(v)] is v's pending wake round (0 = none);
+     buckets collect the vertices per round, and a min-heap over bucket
+     rounds answers "when is the next wake?" for fast-forwarding. Stale
+     bucket entries (superseded or cancelled wakes) are filtered against
+     [wake_at] when the bucket is consumed. *)
+  let wake_at = Array.make n 0 in
+  let wake_buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let heap = ref (Array.make 16 0) in
+  let heap_len = ref 0 in
+  let heap_push x =
+    if !heap_len = Array.length !heap then begin
+      let h = Array.make (2 * !heap_len) 0 in
+      Array.blit !heap 0 h 0 !heap_len;
+      heap := h
+    end;
+    let a = !heap in
+    let i = ref !heap_len in
+    incr heap_len;
+    a.(!i) <- x;
+    while !i > 0 && a.((!i - 1) / 2) > a.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = a.(p) in
+      a.(p) <- a.(!i);
+      a.(!i) <- t;
+      i := p
+    done
+  in
+  let heap_min () = if !heap_len = 0 then max_int else (!heap).(0) in
+  let heap_pop () =
+    let a = !heap in
+    decr heap_len;
+    a.(0) <- a.(!heap_len);
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < !heap_len && a.(l) < a.(!s) then s := l;
+      if r < !heap_len && a.(r) < a.(!s) then s := r;
+      if !s = !i then moving := false
+      else begin
+        let t = a.(!s) in
+        a.(!s) <- a.(!i);
+        a.(!i) <- t;
+        i := !s
+      end
+    done
+  in
+  let set_wake v t =
+    wake_at.(v) <- t;
+    match Hashtbl.find_opt wake_buckets t with
+    | Some entries -> entries := v :: !entries
+    | None ->
+        Hashtbl.add wake_buckets t (ref [ v ]);
+        heap_push t
+  in
+  let push_cur r v =
+    if sched.(v) <> r then begin
+      sched.(v) <- r;
+      (!cur).(!cur_len) <- v;
+      incr cur_len
+    end
+  in
+  let push_nxt r1 v =
+    if sched.(v) <> r1 then begin
+      sched.(v) <- r1;
+      (!nxt).(!nxt_len) <- v;
+      incr nxt_len
+    end
+  in
+  (* reused outgoing scratch: only slots of vertices stepped this round are
+     written, and each is reset right after its messages are delivered *)
+  let outgoing : (int * 'msg) list array = Array.make n [] in
+  (* bandwidth scratch, reused across vertices and rounds *)
+  let edge_bits = Array.make n 0 in
+  let touched = Array.make n 0 in
+  let touched_len = ref 0 in
+  let check_neighbor row cursor v w =
+    (* sends are normally listed in ascending neighbor order, so a moving
+       cursor over the sorted row validates them in O(1) amortized; an
+       out-of-order send falls back to binary search *)
+    let len = Array.length row in
+    let c = !cursor in
+    if c < len && row.(c) = w then cursor := c + 1
+    else begin
+      let lo = ref 0 and hi = ref (len - 1) in
+      let found = ref (-1) in
+      while !found < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = row.(mid) in
+        if x = w then found := mid
+        else if x < w then lo := mid + 1
+        else hi := mid - 1
+      done;
+      if !found < 0 then
+        invalid_arg
+          (Printf.sprintf "Network.run: vertex %d sent to non-neighbor %d" v w);
+      cursor := !found + 1
+    end
+  in
+  (* round 1 schedules everyone *)
+  if event then
+    for v = 0 to n - 1 do
+      push_cur 1 v
+    done;
+  while !live > 0 && !rounds < max_rounds do
+    incr rounds;
+    let r = !rounds in
+    (* crash / recovery events take effect at the start of the round, in
+       the same order as the reference: recoveries first, then crashes. A
+       recovering vertex executes its recovery round with an empty inbox. *)
+    if faulty then begin
+      List.iter
+        (fun v ->
+          if crashed.(v) && not halted.(v) then begin
+            crashed.(v) <- false;
+            incr live;
+            decr crashed_live;
+            if event then push_cur r v
+          end)
+        (Hashtbl.find_all recover_at r);
+      List.iter
+        (fun v ->
+          if (not crashed.(v)) && not halted.(v) then begin
+            crashed.(v) <- true;
+            in_len.(v) <- 0;
+            decr live;
+            incr crashed_live
+          end)
+        (Hashtbl.find_all crash_at r)
+    end;
+    (* every crashed vertex burns this round, exactly as the reference
+       counts it during its full sweep *)
+    crashed_rounds := !crashed_rounds + !crashed_live;
+    if event then begin
+      (* fire this round's wake-ups *)
+      (match Hashtbl.find_opt wake_buckets r with
+      | Some entries ->
+          List.iter
+            (fun v ->
+              if wake_at.(v) = r then begin
+                wake_at.(v) <- 0;
+                (* a wake firing while crashed is lost: the recovery event
+                   itself reschedules the vertex *)
+                if (not halted.(v)) && not crashed.(v) then push_cur r v
+              end)
+            !entries;
+          Hashtbl.remove wake_buckets r
+      | None -> ());
+      if heap_min () = r then heap_pop ();
+      sort_prefix !cur !cur_len
+    end;
+    (* execute the round on this round's schedule, ascending by vertex id *)
+    exec_len := 0;
+    let step_vertex v =
+      let st = round r ctxs.(v) states.(v) (inbox_list v) in
+      states.(v) <- st.state;
+      (* a halting vertex's final sends still go out this round *)
+      outgoing.(v) <- st.send;
+      exec.(!exec_len) <- v;
+      incr exec_len;
+      if st.halt then begin
+        halted.(v) <- true;
+        decr live;
+        if wake_at.(v) > 0 then wake_at.(v) <- 0
+      end
+      else if event then
+        match st.wake_after with
+        | Some d ->
+            if d < 1 then
+              invalid_arg
+                (Printf.sprintf
+                   "Network.run: vertex %d requested wake_after %d (must be \
+                    >= 1)"
+                   v d);
+            if d <= max_rounds - r then set_wake v (r + d)
+            else if wake_at.(v) > 0 then wake_at.(v) <- 0
+        | None -> if wake_at.(v) > 0 then wake_at.(v) <- 0
+    in
+    if event then
+      for i = 0 to !cur_len - 1 do
+        let v = (!cur).(i) in
+        if (not halted.(v)) && not crashed.(v) then step_vertex v
+      done
+    else
+      for v = 0 to n - 1 do
+        if (not halted.(v)) && not crashed.(v) then step_vertex v
+      done;
+    active_total := !active_total + !exec_len;
+    (* deliver, senders ascending (exec is ascending in both modes), each
+       sender's messages in list order — the draw order the fault RNG pins *)
+    cur_len := 0;
+    for i = 0 to !exec_len - 1 do
+      let v = exec.(i) in
+      let row = ctxs.(v).neighbors in
+      let cursor = ref 0 in
+      List.iter
+        (fun (w, msg) ->
+          check_neighbor row cursor v w;
+          let bits = msg_bits msg in
+          if edge_bits.(w) = 0 then begin
+            touched.(!touched_len) <- w;
+            incr touched_len
+          end;
+          let now = edge_bits.(w) + bits in
+          edge_bits.(w) <- now;
+          (match bandwidth with
+          | Local -> ()
+          | Congest budget ->
+              if now > budget then
+                raise
+                  (Congestion_violation
+                     { round = r; src = v; dst = w; bits = now; budget }));
+          total_bits := !total_bits + bits;
+          if now > !max_edge_bits then max_edge_bits := now;
+          incr messages;
+          last_traffic := r;
+          (* fate of the message: the sender has spent the bandwidth
+             either way; every non-delivery is counted in [dropped] so
+             that delivered + dropped = messages always holds *)
+          if faulty && link_down r v w then incr dropped
+          else if crashed.(w) then incr dropped
+          else if halted.(w) then incr dropped
+          else if
+            faults.drop_rate > 0.
+            && Random.State.float frng 1. < faults.drop_rate
+          then incr dropped
+          else begin
+            push_inbox w v msg;
+            if event then push_nxt (r + 1) w;
+            if
+              faults.duplicate_rate > 0.
+              && Random.State.float frng 1. < faults.duplicate_rate
+            then begin
+              push_inbox w v msg;
+              incr duplicated
+            end
+          end)
+        outgoing.(v);
+      outgoing.(v) <- [];
+      for t = 0 to !touched_len - 1 do
+        edge_bits.(touched.(t)) <- 0
+      done;
+      touched_len := 0
+    done;
+    if event then begin
+      (* swap worklists; [nxt] becomes round r+1's schedule *)
+      let t = !cur in
+      cur := !nxt;
+      nxt := t;
+      cur_len := !nxt_len;
+      nxt_len := 0;
+      (* fast-forward over silent rounds: nobody is scheduled, so jump to
+         the next wake-up or fault event (or the horizon). The reference
+         loop spends those rounds stepping vertices whose wake-up contract
+         makes them no-ops, so skipping them changes nothing observable;
+         crashed vertices still accrue crashed_rounds for each round
+         skipped. *)
+      if !live > 0 && !cur_len = 0 then begin
+        let cand = min (heap_min ()) (next_fault_round r) in
+        let target =
+          if cand = max_int || cand > max_rounds then max_rounds + 1 else cand
+        in
+        let skipped = target - 1 - r in
+        if skipped > 0 then begin
+          crashed_rounds := !crashed_rounds + (!crashed_live * skipped);
+          rounds := target - 1
+        end
+      end
+    end
+  done;
+  (* cost-meter hook: attribute this run's accounting to the enclosing
+     observability span (no-op unless Obs is enabled). Fault counters are
+     only reported for runs with an active fault spec, and the schedule
+     sparsity counter only for event-driven runs, so existing fault-free
+     profiles stay byte-identical. *)
+  Obs.Meter.net ~rounds:!rounds ~messages:!messages ~total_bits:!total_bits
+    ~max_edge_bits:!max_edge_bits;
+  if faulty then
+    Obs.Meter.faults ~dropped:!dropped ~duplicated:!duplicated
+      ~crashed_rounds:!crashed_rounds;
+  if event then Obs.Meter.active ~vertices:!active_total;
   ( states,
     {
       rounds = !rounds;

@@ -38,16 +38,50 @@ type ctx = {
 }
 
 (** One vertex's round outcome: new state, outgoing messages as
-    [(neighbor, message)] pairs, and whether the vertex halts. The messages
-    a vertex sends in its halting round are still delivered (they were sent
-    before it stopped); from the next round on it sends nothing and its
-    state no longer changes. Messages arriving at an already-halted vertex
-    are dropped. *)
+    [(neighbor, message)] pairs, whether the vertex halts, and an optional
+    wake-up request. The messages a vertex sends in its halting round are
+    still delivered (they were sent before it stopped); from the next round
+    on it sends nothing and its state no longer changes. Messages arriving
+    at an already-halted vertex are dropped.
+
+    [wake_after] only matters under {!Event_driven} scheduling (it is
+    ignored otherwise): [Some d] (with [d >= 1]) asks to be stepped again
+    in round [r + d] even if no message arrives; [None] sleeps until the
+    next incoming message. Each step replaces the previous request, and
+    halting cancels it. *)
 type ('state, 'msg) step = {
   state : 'state;
   send : (int * 'msg) list;
   halt : bool;
+  wake_after : int option;
 }
+
+(** [step ?wake_after ?send ?halt state] builds a {!step}; [send] defaults
+    to no messages, [halt] to [false] and [wake_after] to [None]. *)
+val step :
+  ?wake_after:int ->
+  ?send:(int * 'msg) list ->
+  ?halt:bool ->
+  'state ->
+  ('state, 'msg) step
+
+(** How {!run} decides which vertices to step each round.
+
+    [Every_round] (the default) steps every non-halted, non-crashed vertex
+    every round — the classic synchronous sweep, call-for-call identical
+    to {!run_reference}.
+
+    [Event_driven] steps a vertex in round [r] only if it received a
+    message in round [r - 1], just recovered from a crash, or requested a
+    wake-up via [wake_after] (round 1 steps everyone). An algorithm is
+    eligible for this mode only if it honors the {e wake-up contract}: a
+    round call with an empty inbox outside the vertex's own wake-up
+    requests must be a no-op — it sends nothing, does not halt, and any
+    state change is observationally irrelevant. Under that contract the
+    skipped calls are exactly no-ops, so stats and final outputs are
+    identical to [Every_round]; rounds in which no vertex is scheduled are
+    fast-forwarded without iterating anything. *)
+type schedule = Every_round | Event_driven
 
 (** Cumulative execution statistics. The accounting invariant is
     [delivered stats + stats.dropped = stats.messages]: every sent message
@@ -91,9 +125,35 @@ val pp_stats : Format.formatter -> stats -> unit
     [Faults.none] (the default) the run is byte-identical to one without
     the argument, and no fault counters reach the cost meter.
 
+    [?schedule] selects the scheduling discipline (default {!Every_round});
+    see {!schedule}. Fault injection composes with both modes: the fault
+    RNG's draw order (vertices ascending, each vertex's sends in list
+    order, one optional draw per sent then per delivered message) is a
+    property of the delivery sweep and does not depend on which sleeping
+    vertices were skipped, so fixed-seed fault outcomes are identical
+    across schedules for contract-honoring algorithms.
+
     @raise Congestion_violation when a CONGEST budget is exceeded.
-    @raise Invalid_argument if a vertex sends to a non-neighbor. *)
+    @raise Invalid_argument if a vertex sends to a non-neighbor, or
+    requests [wake_after] < 1. *)
 val run :
+  ?faults:Faults.t ->
+  ?schedule:schedule ->
+  Sparse_graph.Graph.t ->
+  bandwidth:bandwidth ->
+  msg_bits:('msg -> int) ->
+  init:(ctx -> 'state) ->
+  round:(int -> ctx -> 'state -> (int * 'msg) list -> ('state, 'msg) step) ->
+  max_rounds:int ->
+  'state array * stats
+
+(** The pre-scheduler simulator loop, kept verbatim as the behavioral
+    baseline: it steps every non-halted, non-crashed vertex every round,
+    re-sorts each inbox, and ignores [wake_after]. [run] must be
+    stats-identical to it (the equivalence suite in [test/] pins this); it
+    is also the slow side of the [congest-bench] comparison. Not for
+    production use. *)
+val run_reference :
   ?faults:Faults.t ->
   Sparse_graph.Graph.t ->
   bandwidth:bandwidth ->

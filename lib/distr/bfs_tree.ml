@@ -31,17 +31,18 @@ let run (view : Cluster_view.t) ~roots ~rounds =
         | [] -> st
         | (sender, d) :: _ -> { parent = sender; depth = d + 1; announced = false }
     in
-    if r > rounds then { Network.state = st; send = []; halt = true }
+    (* event-driven: unreached vertices sleep on their inbox; everyone
+       keeps a timer for round [rounds + 1], where the run halts *)
+    if r > rounds then Network.step st ~halt:true
     else if st.parent >= 0 && not st.announced then
-      {
-        Network.state = { st with announced = true };
-        send = List.map (fun w -> (w, st.depth)) intra.(ctx.id);
-        halt = false;
-      }
-    else { Network.state = st; send = []; halt = false }
+      Network.step
+        { st with announced = true }
+        ~send:(List.map (fun w -> (w, st.depth)) intra.(ctx.id))
+        ~wake_after:(rounds + 1 - r)
+    else Network.step st ~wake_after:(rounds + 1 - r)
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -115,7 +116,9 @@ let run_reliable ?faults ?(patience = 6) (view : Cluster_view.t) ~roots
       if st.hdepth >= 0 then List.map (fun w -> (w, st.hdepth)) intra.(self)
       else []
     in
-    { Network.state = st; send; halt = r > rounds }
+    (* stays Every_round: the heartbeat refresh each round IS the
+       retransmission mechanism, so no round is a no-op *)
+    Network.step st ~send ~halt:(r > rounds)
   in
   let states, stats =
     Network.run ?faults g

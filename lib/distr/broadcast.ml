@@ -29,17 +29,18 @@ let run (view : Cluster_view.t) ~sources ~rounds =
         | [] -> st
         | (_, x) :: _ -> { value = x; fresh = true }
     in
-    if r > rounds then { Network.state = st; send = []; halt = true }
+    (* event-driven: idle vertices sleep on their inbox and set a timer
+       for round [rounds + 1], where everyone halts *)
+    if r > rounds then Network.step st ~halt:true
     else if st.fresh then
-      {
-        Network.state = { st with fresh = false };
-        send = List.map (fun w -> (w, st.value)) intra.(ctx.id);
-        halt = false;
-      }
-    else { Network.state = st; send = []; halt = false }
+      Network.step
+        { st with fresh = false }
+        ~send:(List.map (fun w -> (w, st.value)) intra.(ctx.id))
+        ~wake_after:(rounds + 1 - r)
+    else Network.step st ~wake_after:(rounds + 1 - r)
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -88,11 +89,10 @@ let run_reliable ?faults (view : Cluster_view.t) ~sources ~rounds =
       else (rel, st.offered)
     in
     let rel, out = Reliable.flush rel ~now:r in
-    {
-      Network.state = { rvalue; rel; offered };
-      send = acks @ out;
-      halt = r > rounds;
-    }
+    (* stays Every_round: the retry transport re-offers from its queue on a
+       clock of its own, so a silent round is not a no-op here *)
+    Network.step { rvalue; rel; offered } ~send:(acks @ out)
+      ~halt:(r > rounds)
   in
   let states, stats =
     Network.run ?faults g

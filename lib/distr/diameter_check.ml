@@ -41,21 +41,18 @@ let run (view : Cluster_view.t) ~b =
       (* still growing the ball: fold in maxima, re-flood current max *)
       let bm = List.fold_left max st.ball_max maxima in
       let st = { st with ball_max = bm } in
-      {
-        Network.state = st;
-        send = List.map (fun w -> (w, Max bm)) intra.(ctx.id);
-        halt = false;
-      }
+      (* the ball-growing phase re-floods every round: tick via wake_after *)
+      Network.step st
+        ~send:(List.map (fun w -> (w, Max bm)) intra.(ctx.id))
+        ~wake_after:1
     end
     else if r = b + 1 then begin
       (* maxima from round b complete the ball; exchange the final value *)
       let bm = List.fold_left max st.ball_max maxima in
       let st = { st with ball_max = bm } in
-      {
-        Network.state = st;
-        send = List.map (fun w -> (w, Max bm)) intra.(ctx.id);
-        halt = false;
-      }
+      Network.step st
+        ~send:(List.map (fun w -> (w, Max bm)) intra.(ctx.id))
+        ~wake_after:1
     end
     else if r = b + 2 then begin
       (* inbox now holds neighbors' final ball maxima *)
@@ -66,7 +63,7 @@ let run (view : Cluster_view.t) ~b =
       let send =
         if marked then List.map (fun w -> (w, Mark)) intra.(ctx.id) else []
       in
-      { Network.state = st; send; halt = false }
+      Network.step st ~send ~wake_after:(total_rounds + 1 - r)
     end
     else if r <= total_rounds then begin
       let newly = heard_mark && not st.marked in
@@ -75,15 +72,14 @@ let run (view : Cluster_view.t) ~b =
       let send =
         if newly then List.map (fun w -> (w, Mark)) intra.(ctx.id) else []
       in
-      { Network.state = st; send; halt = false }
+      (* mark propagation is message-driven; keep the halt-round timer *)
+      Network.step st ~send ~wake_after:(total_rounds + 1 - r)
     end
     else
-      { Network.state =
-          { st with marked = st.marked || heard_mark };
-        send = []; halt = true }
+      Network.step { st with marked = st.marked || heard_mark } ~halt:true
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function Max _ -> Bits.words n 1 | Mark -> 1)
       ~init ~round ~max_rounds:(total_rounds + 1)

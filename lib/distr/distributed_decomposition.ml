@@ -169,11 +169,14 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
     end
     else st
   in
+  (* Stays Every_round: the BFS / power-iteration / sweep phases run on a
+     dense absolute-round schedule in which almost every vertex originates
+     traffic each round, so event-driven scheduling has nothing to skip. *)
   let round r (ctx : Network.ctx) st inbox =
     let v = ctx.id in
     if intra.(v) = [] then
       (* no intra edges: nothing to do this level *)
-      { Network.state = st; send = []; halt = true }
+      Network.step st ~halt:true
     else begin
       let send = ref [] in
       let st = ref st in
@@ -210,7 +213,7 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
       let st0 = !st in
       (* unreached vertices idle (the orchestrator separates them) *)
       if st0.depth < 0 && r > b then
-        { Network.state = st0; send = []; halt = r > total_rounds }
+        Network.step st0 ~halt:(r > total_rounds)
       else begin
         (* 2. act according to the schedule *)
         (* BFS announcements *)
@@ -365,7 +368,7 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
               | None -> ())
           | _ -> ()
         end;
-        { Network.state = !st; send = !send; halt = r > total_rounds }
+        Network.step !st ~send:!send ~halt:(r > total_rounds)
       end
     end
   in

@@ -46,8 +46,11 @@ let run (view : Cluster_view.t) ?weights ~seed () =
   let init (ctx : Network.ctx) =
     { mate = -1; live_neighbors = intra.(ctx.id); pointed_to = -1 }
   in
+  (* Stays Every_round: an unmatched vertex re-points at its best live
+     neighbor on every odd round whether or not anything arrived, so no
+     round is a no-op and event-driven scheduling has nothing to skip. *)
   let round r (_ctx : Network.ctx) st inbox =
-    if st.mate >= 0 then { Network.state = st; send = []; halt = true }
+    if st.mate >= 0 then Network.step st ~halt:true
     else begin
       let taken =
         List.filter_map (function s, Taken -> Some s | _ -> None) inbox
@@ -58,10 +61,10 @@ let run (view : Cluster_view.t) ?weights ~seed () =
       let st = { st with live_neighbors = live } in
       if r mod 2 = 1 then begin
         match best live with
-        | None -> { Network.state = st; send = []; halt = true }
+        | None -> Network.step st ~halt:true
         | Some (w, _) ->
             let st = { st with pointed_to = w } in
-            { Network.state = st; send = [ (w, Point) ]; halt = false }
+            Network.step st ~send:[ (w, Point) ]
       end
       else begin
         let pointers =
@@ -74,9 +77,9 @@ let run (view : Cluster_view.t) ?weights ~seed () =
               (fun (w, _) -> if w <> st.mate then Some (w, Taken) else None)
               st.live_neighbors
           in
-          { Network.state = st; send; halt = false }
+          Network.step st ~send
         end
-        else { Network.state = st; send = []; halt = false }
+        else Network.step st
       end
     end
   in

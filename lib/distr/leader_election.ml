@@ -33,17 +33,19 @@ let run (view : Cluster_view.t) ~rounds =
     let bd, bi = best in
     let changed = bd <> st.best_deg || bi <> st.best_id || r = 1 in
     let st' = { best_deg = bd; best_id = bi; changed } in
-    if r > rounds then { Network.state = st'; send = []; halt = true }
+    (* event-driven: a vertex whose belief is stable sleeps on its inbox;
+       everyone keeps a timer for round [rounds + 1], where the run halts *)
+    if r > rounds then Network.step st' ~halt:true
     else begin
       let send =
         if changed then List.map (fun w -> (w, (bd, bi))) intra.(ctx.id)
         else []
       in
-      { Network.state = st'; send; halt = false }
+      Network.step st' ~send ~wake_after:(rounds + 1 - r)
     end
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 2)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -173,14 +175,14 @@ let run_reliable ?faults ?(patience = 12) (view : Cluster_view.t) ~rounds =
       end
     in
     let erel, out = Reliable.flush ~max_per_dst:1 st.erel ~now:r in
-    {
-      Network.state = { st with erel };
-      send =
-        List.map (fun (w, a) -> (w, Pkt a)) acks
+    (* stays Every_round: leader heartbeats originate on the wall clock and
+       the retry transport retransmits from its own timers *)
+    Network.step { st with erel }
+      ~send:
+        (List.map (fun (w, a) -> (w, Pkt a)) acks
         @ hb_out
-        @ List.map (fun (w, p) -> (w, Pkt p)) out;
-      halt = r > rounds;
-    }
+        @ List.map (fun (w, p) -> (w, Pkt p)) out)
+      ~halt:(r > rounds)
   in
   let states, stats =
     Network.run ?faults g

@@ -84,7 +84,7 @@ let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
       | None ->
           if leader_of.(v) = v && r = 1 then (st, Some 0) else (st, None)
     in
-    if r > rounds_budget then { Network.state = st; send = []; halt = true }
+    if r > rounds_budget then Network.step st ~halt:true
     else begin
       let send = ref [] in
       (match announce with
@@ -93,6 +93,17 @@ let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
           if st.parent >= 0 && st.parent <> v then
             send := (st.parent, Child) :: !send
       | None -> ());
+      (* event-driven wake: the convergecast trigger below first becomes
+         evaluable at adopt_round + 2 (a childless vertex sees no message
+         then), so keep a timer until that round; afterwards every relevant
+         re-evaluation is caused by an arriving payload *)
+      let wake st =
+        if
+          st.parent >= 0 && st.parent <> v && (not st.sent_up)
+          && r < st.adopt_round + 2
+        then Some (st.adopt_round + 2 - r)
+        else None
+      in
       (* convergecast: children final two rounds after our announcement *)
       let children_final =
         st.adopt_round >= 0 && r >= st.adopt_round + 2
@@ -103,15 +114,15 @@ let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
       then begin
         let payload = own_edges.(v) @ List.concat st.received in
         send := (st.parent, Payload payload) :: !send;
-        { Network.state = { st with sent_up = true };
-          send = !send; halt = false }
+        let st = { st with sent_up = true } in
+        Network.step st ~send:!send ?wake_after:(wake st)
       end
-      else { Network.state = st; send = !send; halt = false }
+      else Network.step st ~send:!send ?wake_after:(wake st)
     end
   in
   let idb = Bits.id_bits n in
   let states, stats =
-    Network.run g ~bandwidth:Network.Local
+    Network.run g ~schedule:Network.Event_driven ~bandwidth:Network.Local
       ~msg_bits:(function
         | Depth _ -> idb
         | Child -> 1

@@ -35,10 +35,14 @@ let run (view : Cluster_view.t) ~seed =
   in
   (* Each phase spans two rounds: odd rounds broadcast a fresh draw; even
      rounds compare draws, winners join and announce Joined, neighbors of
-     winners announce Died in the next odd round before going silent. *)
+     winners announce Died in the next odd round before going silent.
+
+     Stays Every_round: live vertices originate a draw on every odd round
+     whether or not anything arrived, so no round is a no-op and
+     event-driven scheduling has nothing to skip. *)
   let round r (ctx : Network.ctx) st inbox =
     match st.status with
-    | In_mis | Out -> { Network.state = st; send = []; halt = true }
+    | In_mis | Out -> Network.step st ~halt:true
     | Live ->
         let joined_neighbor =
           List.exists (function _, Joined -> true | _ -> false) inbox
@@ -53,16 +57,13 @@ let run (view : Cluster_view.t) ~seed =
         if joined_neighbor then begin
           (* a neighbor joined: die, tell remaining live neighbors *)
           let st = { st with status = Out } in
-          { Network.state = st;
-            send = List.map (fun w -> (w, Died)) st.live_neighbors;
-            halt = false }
+          Network.step st ~send:(List.map (fun w -> (w, Died)) st.live_neighbors)
         end
         else if r mod 2 = 1 then begin
           let draw = Random.State.bits st.rng in
           let st = { st with draw; phase = st.phase + 1 } in
-          { Network.state = st;
-            send = List.map (fun w -> (w, Draw draw)) st.live_neighbors;
-            halt = false }
+          Network.step st
+            ~send:(List.map (fun w -> (w, Draw draw)) st.live_neighbors)
         end
         else begin
           let draws =
@@ -76,11 +77,10 @@ let run (view : Cluster_view.t) ~seed =
           in
           if wins then begin
             let st = { st with status = In_mis } in
-            { Network.state = st;
-              send = List.map (fun w -> (w, Joined)) st.live_neighbors;
-              halt = false }
+            Network.step st
+              ~send:(List.map (fun w -> (w, Joined)) st.live_neighbors)
           end
-          else { Network.state = st; send = []; halt = false }
+          else Network.step st
         end
   in
   let max_rounds = 8 * (int_of_float (log (float_of_int (max 2 n)) /. log 2.) + 4) in

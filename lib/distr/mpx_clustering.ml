@@ -48,18 +48,19 @@ let run (view : Cluster_view.t) ~beta ~seed =
       end
     in
     if st.fresh then
-      {
-        Network.state = { st with fresh = false };
-        send = List.map (fun w -> (w, st.owner)) intra.(v);
-        halt = false;
-      }
-    else
-      { Network.state = st;
-        send = [];
-        halt = (st.owner >= 0 && r > horizon) || intra.(v) = [] }
+      Network.step
+        { st with fresh = false }
+        ~send:(List.map (fun w -> (w, st.owner)) intra.(v))
+    else if (st.owner >= 0 && r > horizon) || intra.(v) = [] then
+      Network.step st ~halt:true
+    else if st.owner < 0 && st.start > r then
+      (* event-driven: an unclaimed vertex sleeps until a flood reaches it
+         or its own delayed start round arrives *)
+      Network.step st ~wake_after:(st.start - r)
+    else Network.step st
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:horizon

@@ -39,17 +39,22 @@ let run (view : Cluster_view.t) ~density ?(delta = 0.5) () =
       (* already peeled and notified: absorb remaining notifications, halt
          once nothing more can arrive (one extra round is enough since every
          neighbor notifies exactly once) *)
-      { Network.state = st; send = []; halt = st.notified }
+      Network.step st ~halt:st.notified
     else if List.length active <= threshold then begin
       let st = { st with peel_phase = r; notified = true } in
-      { Network.state = st; send = List.map (fun w -> (w, r)) intra.(_ctx.id);
-        halt = false }
+      (* wake once more to halt after the notifications settle *)
+      Network.step st
+        ~send:(List.map (fun w -> (w, r)) intra.(_ctx.id))
+        ~wake_after:1
     end
-    else { Network.state = st; send = []; halt = false }
+    else
+      (* event-driven: the active degree only shrinks when a peel
+         announcement arrives, so sleep on the inbox *)
+      Network.step st
   in
   let max_rounds = (2 * n) + 4 in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds

@@ -30,11 +30,12 @@ let run (view : Cluster_view.t) ~max_iterations =
   let round r (_ctx : Network.ctx) st inbox =
     if st.removed then begin
       (* announce once, then halt *)
-      if st.announced then { Network.state = st; send = []; halt = true }
+      if st.announced then Network.step st ~halt:true
       else
-        { Network.state = { st with announced = true };
-          send = List.map (fun w -> (w, Gone)) st.live;
-          halt = false }
+        Network.step
+          { st with announced = true }
+          ~send:(List.map (fun w -> (w, Gone)) st.live)
+          ~wake_after:1
     end
     else begin
       let gone =
@@ -42,8 +43,19 @@ let run (view : Cluster_view.t) ~max_iterations =
       in
       let live = List.filter (fun w -> not (List.mem w gone)) st.live in
       let st = { st with live } in
-      if r > total_rounds then { Network.state = st; send = []; halt = true }
+      if r > total_rounds then Network.step st ~halt:true
       else begin
+        (* event-driven wake: the next round where this vertex originates
+           traffic on its own — the next token round for pendant / spoke
+           candidates, otherwise the halt round (which is 1 mod 3, itself a
+           token round); bounce and removal participation is message-driven *)
+        let wake =
+          match st.live with
+          | [ _ ] | [ _; _ ] ->
+              let d = (1 - r) mod 3 in
+              if d <= 0 then d + 3 else d
+          | _ -> total_rounds + 1 - r
+        in
         match r mod 3 with
         | 1 ->
             (* token round: pendants and spokes announce themselves *)
@@ -55,7 +67,7 @@ let run (view : Cluster_view.t) ~max_iterations =
                   [ (a, Spoke (fst key, snd key)); (b, Spoke (fst key, snd key)) ]
               | _ -> []
             in
-            { Network.state = st; send; halt = false }
+            Network.step st ~send ~wake_after:wake
         | 2 ->
             (* bounce round: keep one pendant, two spokes per hub pair *)
             let pendants =
@@ -92,22 +104,23 @@ let run (view : Cluster_view.t) ~max_iterations =
             let send =
               List.map (fun s -> (s, Bounce)) (bounced_pendants @ bounced_spokes)
             in
-            { Network.state = st; send; halt = false }
+            Network.step st ~send ~wake_after:wake
         | _ ->
             (* removal round: a bounce means elimination *)
             let bounced =
               List.exists (function _, Bounce -> true | _ -> false) inbox
             in
             if bounced then
-              { Network.state = { st with removed = true; announced = true };
-                send = List.map (fun w -> (w, Gone)) st.live;
-                halt = false }
-            else { Network.state = st; send = []; halt = false }
+              Network.step
+                { st with removed = true; announced = true }
+                ~send:(List.map (fun w -> (w, Gone)) st.live)
+                ~wake_after:1
+            else Network.step st ~wake_after:wake
       end
     end
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function
         | Pendant | Bounce | Gone -> 2

@@ -79,10 +79,15 @@ let run (view : Cluster_view.t) ~leader_of ~tokens_of ~max_rounds =
       end
       else st
     in
-    { Network.state = st; send = !send; halt = false }
+    (* event-driven: an attached vertex drains its queue toward the parent
+       every round; otherwise adoption and token receipt are message-driven *)
+    Network.step st ~send:!send
+      ?wake_after:
+        (if st.parent >= 0 && st.parent <> v && st.queue <> [] then Some 1
+         else None)
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function BDepth _ -> Bits.id_bits n | Tok _ -> token_bits)
       ~init ~round ~max_rounds

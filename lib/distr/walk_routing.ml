@@ -103,10 +103,14 @@ let run (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
     let st =
       { st with queue = List.rev !still; dropped = st.dropped + newly_dropped }
     in
-    { Network.state = st; send = !send; halt = false }
+    (* event-driven: a vertex holding tokens keeps walking (and drawing
+       from its RNG) every round; an empty queue sleeps until a token
+       arrives *)
+    Network.step st ~send:!send
+      ?wake_after:(if st.queue <> [] then Some 1 else None)
   in
   let states, stats =
-    Network.run g
+    Network.run g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> token_bits)
       ~init ~round ~max_rounds

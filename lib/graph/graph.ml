@@ -8,6 +8,60 @@ type t = {
 
 let normalize (u, v) = if u <= v then (u, v) else (v, u)
 
+(* In-place quicksort of keys.(lo..hi) with pay.(lo..hi) co-moving; insertion
+   sort below a small cutoff, median-of-three pivot. Keys within a row are
+   distinct, so the result is independent of partitioning details. *)
+let sort_row keys pay lo hi =
+  let swap i j =
+    let k = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- k;
+    let p = pay.(i) in
+    pay.(i) <- pay.(j);
+    pay.(j) <- p
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let k = keys.(i) and p = pay.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && keys.(!j) > k do
+        keys.(!j + 1) <- keys.(!j);
+        pay.(!j + 1) <- pay.(!j);
+        decr j
+      done;
+      keys.(!j + 1) <- k;
+      pay.(!j + 1) <- p
+    done
+  in
+  let rec go lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* median-of-three: order lo, mid, hi, then pivot from mid *)
+      if keys.(mid) < keys.(lo) then swap mid lo;
+      if keys.(hi) < keys.(lo) then swap hi lo;
+      if keys.(hi) < keys.(mid) then swap hi mid;
+      let pivot = keys.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while keys.(!i) < pivot do
+          incr i
+        done;
+        while keys.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      go lo !j;
+      go !i hi
+    end
+  in
+  if hi > lo then go lo hi
+
 let of_edge_array n raw =
   Array.iter
     (fun (u, v) ->
@@ -47,17 +101,12 @@ let of_edge_array n raw =
       cursor.(v) <- cursor.(v) + 1)
     edge_ends;
   (* Filling in edge order interleaves low and high endpoints, so rows are not
-     sorted yet; sort each (neighbor, edge id) row to establish the invariant. *)
+     sorted yet; sort each row by neighbor to establish the invariant. Rows are
+     duplicate-free (edges are sort_uniq'd above), so sorting adj_vtx with
+     adj_eid co-moving needs no tie-break and can stay monomorphic in-place. *)
   let g = { n; adj_off; adj_vtx; adj_eid; edge_ends } in
   for v = 0 to n - 1 do
-    let lo = adj_off.(v) and hi = adj_off.(v + 1) in
-    let row = Array.init (hi - lo) (fun i -> (adj_vtx.(lo + i), adj_eid.(lo + i))) in
-    Array.sort compare row;
-    Array.iteri
-      (fun i (w, e) ->
-        adj_vtx.(lo + i) <- w;
-        adj_eid.(lo + i) <- e)
-      row
+    sort_row adj_vtx adj_eid adj_off.(v) (adj_off.(v + 1) - 1)
   done;
   g
 
@@ -104,6 +153,16 @@ let mem_edge g u v = u <> v && find_incidence g u v >= 0
 let find_edge g u v =
   let i = find_incidence g u v in
   if i < 0 then raise Not_found else g.adj_eid.(i)
+
+let neighbor_at g v i =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Graph.neighbor_at: vertex %d out of range" v);
+  let lo = g.adj_off.(v) in
+  if i < 0 || lo + i >= g.adj_off.(v + 1) then
+    invalid_arg
+      (Printf.sprintf "Graph.neighbor_at: index %d out of range for vertex %d"
+         i v);
+  g.adj_vtx.(lo + i)
 
 let iter_neighbors g v f =
   for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do

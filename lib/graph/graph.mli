@@ -51,6 +51,12 @@ val mem_edge : t -> int -> int -> bool
     @raise Not_found if absent. *)
 val find_edge : t -> int -> int -> int
 
+(** [neighbor_at g v i] is the [i]-th neighbor of [v] in increasing neighbor
+    order, in O(1) by direct CSR row indexing. Indices run over
+    [0 .. degree g v - 1].
+    @raise Invalid_argument if [v] or [i] is out of range. *)
+val neighbor_at : t -> int -> int -> int
+
 (** {1 Iteration} *)
 
 (** [iter_neighbors g v f] applies [f] to each neighbor of [v] in increasing

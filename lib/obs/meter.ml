@@ -19,6 +19,11 @@ let k_dropped = "net.dropped"
 let k_duplicated = "net.duplicated"
 let k_crashed_rounds = "net.crashed_rounds"
 
+(* schedule sparsity, reported by Congest.Network.run only for event-driven
+   runs — every-round (and reference) runs record nothing here, keeping
+   pre-scheduler profiles byte-identical *)
+let k_active_vertices = "net.active_vertices"
+
 let net ~rounds ~messages ~total_bits ~max_edge_bits =
   if Rt.is_enabled () then begin
     Metric.incr k_runs;
@@ -27,6 +32,9 @@ let net ~rounds ~messages ~total_bits ~max_edge_bits =
     Metric.count k_bits total_bits;
     Metric.set_max k_max_edge_bits max_edge_bits
   end
+
+let active ~vertices =
+  if Rt.is_enabled () then Metric.count k_active_vertices vertices
 
 let faults ~dropped ~duplicated ~crashed_rounds =
   if Rt.is_enabled () then begin

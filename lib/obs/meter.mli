@@ -11,12 +11,19 @@ val k_max_edge_bits : string
 val k_dropped : string
 val k_duplicated : string
 val k_crashed_rounds : string
+val k_active_vertices : string
 
 val net :
   rounds:int -> messages:int -> total_bits:int -> max_edge_bits:int -> unit
 (** Record one network run: [rounds]/[messages]/[total_bits] add to the
     current span's counters; [max_edge_bits] max-merges. No-op while
     observability is disabled. *)
+
+val active : vertices:int -> unit
+(** Record one event-driven network run's total scheduled vertex-rounds
+    ([net.active_vertices]). Called by the simulator only for
+    [Event_driven] runs, so every-round profiles keep their pre-scheduler
+    vocabulary. No-op while observability is disabled. *)
 
 val faults : dropped:int -> duplicated:int -> crashed_rounds:int -> unit
 (** Record one faulty network run's fault counters ([net.dropped],

@@ -53,7 +53,11 @@ let sweep_cut g vector =
     List.filter (fun (_, mass) -> mass > 0.) vector
     |> List.map (fun (v, mass) ->
            (v, mass /. float_of_int (max 1 (Graph.degree g v))))
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.sort (fun (va, a) (vb, b) ->
+           (* descending mass; ties broken by ascending vertex id so the
+              sweep order (and hence the cut) is well-defined *)
+           let c = compare b a in
+           if c <> 0 then c else compare va vb)
   in
   if support = [] then invalid_arg "Local_cluster.sweep_cut: empty support";
   if List.length support >= n then

@@ -73,13 +73,8 @@ let sample_walk g ~start ~steps ~rng =
   let cur = ref start in
   for i = 1 to steps do
     let d = Graph.degree g !cur in
-    if d > 0 && Random.State.bool rng then begin
-      let k = Random.State.int rng d in
-      let j = ref 0 in
-      Graph.iter_neighbors g !cur (fun w ->
-          if !j = k then cur := w;
-          incr j)
-    end;
+    if d > 0 && Random.State.bool rng then
+      cur := Graph.neighbor_at g !cur (Random.State.int rng d);
     visits.(i) <- !cur
   done;
   visits

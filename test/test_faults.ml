@@ -89,7 +89,7 @@ let sender_protocol ?faults g ~last =
         Array.to_list (Array.map (fun w -> (w, r)) ctx.neighbors)
       else []
     in
-    { Network.state = (); send; halt = r > last }
+    { Network.wake_after = None; state = (); send; halt = r > last }
   in
   let _, stats =
     Network.run ?faults g ~bandwidth:Network.Local
@@ -513,7 +513,7 @@ let accounting_invariant_under_faults =
             Array.to_list (Array.map (fun w -> (w, r)) ctx.neighbors)
           else []
         in
-        { Network.state = (); send; halt = r > 6 }
+        { Network.wake_after = None; state = (); send; halt = r > 6 }
       in
       let _, stats =
         Network.run ~faults g ~bandwidth:Network.Local

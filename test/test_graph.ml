@@ -26,6 +26,39 @@ let test_of_edges_range () =
     "Graph.of_edges: endpoint out of range (0,3), n=3")
     (fun () -> ignore (Graph.of_edges 3 [ (0, 3) ]))
 
+let test_neighbor_at () =
+  (* CSR indexing agrees with the neighbor list on assorted graphs *)
+  let graphs =
+    [ Generators.grid 4 5;
+      Generators.random_tree 30 ~seed:7;
+      Generators.random_apollonian 25 ~seed:11;
+      Graph.of_edges 1 [] ]
+  in
+  List.iter
+    (fun g ->
+      for v = 0 to Graph.n g - 1 do
+        let nbrs = Graph.neighbors g v in
+        List.iteri
+          (fun i w -> check "neighbor_at = nth neighbor" w (Graph.neighbor_at g v i))
+          nbrs;
+        check "degree bound" (List.length nbrs) (Graph.degree g v)
+      done)
+    graphs
+
+let test_neighbor_at_bounds () =
+  let g = Generators.path 3 in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  expect_invalid "vertex too large" (fun () -> Graph.neighbor_at g 3 0);
+  expect_invalid "vertex negative" (fun () -> Graph.neighbor_at g (-1) 0);
+  expect_invalid "index too large" (fun () -> Graph.neighbor_at g 0 1);
+  expect_invalid "index negative" (fun () -> Graph.neighbor_at g 1 (-1));
+  check "valid lookup" 1 (Graph.neighbor_at g 0 0);
+  check "middle vertex" 2 (Graph.neighbor_at g 1 1)
+
 let test_endpoints_normalized () =
   let g = Graph.of_edges 3 [ (2, 0); (1, 0) ] in
   for e = 0 to Graph.m g - 1 do
@@ -553,6 +586,8 @@ let () =
           tc "of_edges dedup" test_of_edges_dedup;
           tc "of_edges range check" test_of_edges_range;
           tc "endpoints normalized" test_endpoints_normalized;
+          tc "neighbor_at" test_neighbor_at;
+          tc "neighbor_at bounds" test_neighbor_at_bounds;
           tc "find_edge" test_find_edge;
           tc "max degree" test_max_degree;
           tc "handshake lemma" test_degree_sum;

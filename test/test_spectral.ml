@@ -294,6 +294,19 @@ let test_local_cluster_finds_blob () =
     (Conductance.of_cut g cut.side)
     cut.conductance
 
+let test_local_sweep_cut_tie_break () =
+  (* all support vertices have equal mass/degree: the sweep order is
+     decided entirely by the ascending-id tie-break, pinning the cut to
+     the contiguous low-id arc rather than an arbitrary tied permutation *)
+  let g = Generators.cycle 8 in
+  let vector = [ (5, 0.25); (2, 0.25); (0, 0.25); (1, 0.25) ] in
+  let cut = Local_cluster.sweep_cut g vector in
+  Alcotest.(check (array bool))
+    "tied masses sweep in id order"
+    [| true; true; true; false; false; false; false; false |]
+    cut.side;
+  checkf "arc conductance" ~eps:1e-9 (1. /. 3.) cut.conductance
+
 let test_ppr_validation () =
   let g = Generators.cycle 5 in
   Alcotest.check_raises "bad alpha"
@@ -505,6 +518,7 @@ let () =
           tc "ppr locality" test_ppr_locality;
           tc "ppr pairs sorted" test_ppr_pairs_vertex_sorted;
           tc "finds the seed blob" test_local_cluster_finds_blob;
+          tc "sweep_cut tie-break by vertex id" test_local_sweep_cut_tie_break;
           tc "parameter validation" test_ppr_validation;
         ] );
       ( "expander_decomposition",
