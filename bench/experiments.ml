@@ -900,6 +900,10 @@ let fault_sweep () =
 
 let congest_n = ref 20_000
 let congest_out = ref "BENCH_congest.json"
+let congest_shards = ref 4
+
+(* top rung of the sharded scaling ladder; 0 = reuse --congest-n *)
+let congest_scale_max = ref 0
 
 (* a congest-bench workload: a graph plus a scheduler-agnostic algorithm
    obeying the wake-up contract, so both loops compute the same run *)
@@ -1040,45 +1044,72 @@ let congest_workloads n =
   in
   [ heartbeat; broadcast; bfs; mis ]
 
+let congest_measure f =
+  let mw0 = Gc.minor_words () in
+  let t0 = Obs.Clock.wall_s () in
+  let states, stats = f () in
+  let dt = Obs.Clock.wall_s () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  (states, (stats : Congest.Network.stats), max 1e-9 dt, mw)
+
+let congest_sharded_exec () =
+  Congest.Network.Sharded { shards = max 1 !congest_shards; pool = !pool }
+
 let congest_bench () =
-  note "\n### congest-bench: event-driven scheduler vs reference loop\n";
+  note "\n### congest-bench: scheduler and shard pool vs reference loop\n";
   note "claim: identical stats; large speedups on sparse frontiers\n";
   let bench_one cw =
     let n = Graph.n cw.cw_graph in
     let msg_bits _ = Congest.Bits.id_bits n in
-    let steps = ref 0 in
-    let counted_round r ctx st inbox =
-      incr steps;
+    (* per-vertex step counters: disjoint slots stay race-free when the
+       sharded loop steps vertices on several domains at once *)
+    let counts = Array.make n 0 in
+    let counted_round r (ctx : Congest.Network.ctx) st inbox =
+      counts.(ctx.id) <- counts.(ctx.id) + 1;
       cw.cw_round r ctx st inbox
     in
-    let measure f =
-      let mw0 = Gc.minor_words () in
-      let t0 = Obs.Clock.wall_s () in
-      let states, stats = f () in
-      let dt = Obs.Clock.wall_s () -. t0 in
-      let mw = Gc.minor_words () -. mw0 in
-      (states, (stats : Congest.Network.stats), max 1e-9 dt, mw)
+    let take_counts () =
+      let s = Array.fold_left ( + ) 0 counts in
+      Array.fill counts 0 n 0;
+      s
     in
-    steps := 0;
+    let measure = congest_measure in
     let ref_states, ref_stats, ref_s, ref_mw =
       measure (fun () ->
           Congest.Network.run_reference cw.cw_graph ~bandwidth:Congest.Network.Local
             ~msg_bits ~init:cw.cw_init ~round:counted_round
             ~max_rounds:cw.cw_max_rounds)
     in
-    let ref_steps = !steps in
-    steps := 0;
+    let ref_steps = take_counts () in
     let ev_states, ev_stats, ev_s, ev_mw =
       measure (fun () ->
           Congest.Network.run cw.cw_graph ~schedule:Congest.Network.Event_driven
             ~bandwidth:Congest.Network.Local ~msg_bits ~init:cw.cw_init
             ~round:counted_round ~max_rounds:cw.cw_max_rounds)
     in
-    let ev_steps = !steps in
-    let stats_equal = ref_stats = ev_stats && ref_states = ev_states in
+    let ev_steps = take_counts () in
+    (* the workloads' messages are small non-negative ints, so the packed
+       immediate path of int_codec carries every payload. minor_words for
+       this side only sees the coordinator domain's allocations. *)
+    let sh_states, sh_stats, sh_s, sh_mw =
+      measure (fun () ->
+          Congest.Network.run cw.cw_graph ~schedule:Congest.Network.Event_driven
+            ~exec:(congest_sharded_exec ()) ~codec:Congest.Network.int_codec
+            ~bandwidth:Congest.Network.Local ~msg_bits ~init:cw.cw_init
+            ~round:counted_round ~max_rounds:cw.cw_max_rounds)
+    in
+    let sh_steps = take_counts () in
+    let stats_equal =
+      ref_stats = ev_stats && ref_states = ev_states
+      && ref_stats = sh_stats && ref_states = sh_states
+    in
     let rounds = float_of_int (max 1 ref_stats.Congest.Network.rounds) in
-    let ref_rps = rounds /. ref_s and ev_rps = rounds /. ev_s in
-    let ref_wpr = ref_mw /. rounds and ev_wpr = ev_mw /. rounds in
+    let ref_rps = rounds /. ref_s
+    and ev_rps = rounds /. ev_s
+    and sh_rps = rounds /. sh_s in
+    let ref_wpr = ref_mw /. rounds
+    and ev_wpr = ev_mw /. rounds
+    and sh_wpr = sh_mw /. rounds in
     let side label seconds rps wpr steps =
       ( label,
         Obs.Json.Obj
@@ -1099,7 +1130,9 @@ let congest_bench () =
           ("active_vertices", Obs.Json.Int ev_steps);
           side "reference" ref_s ref_rps ref_wpr ref_steps;
           side "event" ev_s ev_rps ev_wpr ev_steps;
+          side "sharded" sh_s sh_rps sh_wpr sh_steps;
           ("speedup", Obs.Json.Float (ev_rps /. ref_rps));
+          ("sharded_speedup", Obs.Json.Float (sh_rps /. ref_rps));
           ( "alloc_ratio",
             Obs.Json.Float (ref_wpr /. max 1e-9 ev_wpr) );
           ("stats_equal", Obs.Json.Bool stats_equal);
@@ -1112,7 +1145,7 @@ let congest_bench () =
         i ref_stats.Congest.Network.messages;
         i ref_steps; i ev_steps;
         f1 (ev_rps /. ref_rps);
-        f1 (ref_wpr /. max 1e-9 ev_wpr);
+        f1 (sh_rps /. ref_rps);
         (if stats_equal then "yes" else "NO");
       ]
     in
@@ -1120,18 +1153,75 @@ let congest_bench () =
   in
   let results = List.map bench_one (congest_workloads !congest_n) in
   print_table
-    ~title:"congest-bench: Event_driven vs run_reference"
+    ~title:"congest-bench: Event_driven / sharded vs run_reference"
     ~header:
       [ "workload"; "n"; "rounds"; "messages"; "ref calls"; "event calls";
-        "speedup"; "alloc ratio"; "stats eq" ]
+        "speedup"; "sh speedup"; "stats eq" ]
     (List.map snd results);
+  (* the scaling ladder: sharded vs sequential event-driven (no reference
+     side — the full sweep is what the big-n runs exist to avoid), at
+     n = m/16, m/4, m for the event-friendly workloads *)
+  let ladder_one n cw =
+    let gn = Graph.n cw.cw_graph in
+    let msg_bits _ = Congest.Bits.id_bits gn in
+    let ev_states, ev_stats, ev_s, _ =
+      congest_measure (fun () ->
+          Congest.Network.run cw.cw_graph ~schedule:Congest.Network.Event_driven
+            ~bandwidth:Congest.Network.Local ~msg_bits ~init:cw.cw_init
+            ~round:cw.cw_round ~max_rounds:cw.cw_max_rounds)
+    in
+    let sh_states, sh_stats, sh_s, _ =
+      congest_measure (fun () ->
+          Congest.Network.run cw.cw_graph ~schedule:Congest.Network.Event_driven
+            ~exec:(congest_sharded_exec ()) ~codec:Congest.Network.int_codec
+            ~bandwidth:Congest.Network.Local ~msg_bits ~init:cw.cw_init
+            ~round:cw.cw_round ~max_rounds:cw.cw_max_rounds)
+    in
+    let stats_equal = ev_stats = sh_stats && ev_states = sh_states in
+    note "  scaling %-9s n=%-8d  event %.3fs  sharded %.3fs  %s\n" cw.cw_name
+      n ev_s sh_s
+      (if stats_equal then "stats eq" else "STATS MISMATCH");
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str cw.cw_name);
+        ("n", Obs.Json.Int n);
+        ("rounds", Obs.Json.Int ev_stats.Congest.Network.rounds);
+        ("event_seconds", Obs.Json.Float ev_s);
+        ("sharded_seconds", Obs.Json.Float sh_s);
+        ("speedup", Obs.Json.Float (ev_s /. sh_s));
+        ("stats_equal", Obs.Json.Bool stats_equal);
+      ]
+  in
+  let scale_max =
+    if !congest_scale_max > 0 then !congest_scale_max else !congest_n
+  in
+  let rungs =
+    let candidates =
+      List.sort_uniq compare
+        (List.filter
+           (fun x -> x >= 64)
+           [ scale_max / 16; scale_max / 4; scale_max ])
+    in
+    if candidates = [] then [ scale_max ] else candidates
+  in
+  note "\n### sharded scaling ladder (event-driven vs sharded)\n";
+  let scaling =
+    List.concat_map
+      (fun n ->
+        congest_workloads n
+        |> List.filter (fun cw -> cw.cw_name <> "mis")
+        |> List.map (ladder_one n))
+      rungs
+  in
   let doc =
     Obs.Json.Obj
       [
         ("schema", Obs.Json.Str "expander-congest-bench");
-        ("version", Obs.Json.Int 1);
+        ("version", Obs.Json.Int 2);
         ("n", Obs.Json.Int !congest_n);
+        ("shards", Obs.Json.Int (max 1 !congest_shards));
         ("workloads", Obs.Json.List (List.map fst results));
+        ("scaling", Obs.Json.List scaling);
       ]
   in
   Obs.Export.write_file !congest_out (Obs.Json.to_string_pretty doc);

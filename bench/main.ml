@@ -234,11 +234,29 @@ let () =
     | "--congest-out" :: p :: rest ->
         Experiments.congest_out := p;
         parse_args acc jobs profile trace timings rest
+    | "--shards" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s when s >= 1 ->
+            Experiments.congest_shards := s;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--shards expects a positive integer, got %S\n" v;
+            exit 1)
+    | "--congest-scale-max" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 4 ->
+            Experiments.congest_scale_max := m;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf
+              "--congest-scale-max expects an integer >= 4, got %S\n" v;
+            exit 1)
     | "--profile" :: p :: rest -> parse_args acc jobs (Some p) trace timings rest
     | "--trace" :: p :: rest -> parse_args acc jobs profile (Some p) timings rest
     | "--timings" :: p :: rest -> parse_args acc jobs profile trace p rest
     | [ (("--jobs" | "--profile" | "--trace" | "--timings" | "--fault-seed"
-        | "--drop-rate" | "--congest-n" | "--congest-out") as flag) ] ->
+        | "--drop-rate" | "--congest-n" | "--congest-out" | "--shards"
+        | "--congest-scale-max") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         exit 1
     | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest

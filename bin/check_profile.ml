@@ -211,6 +211,7 @@ let check_congest_bench path =
               active (n * rounds);
           check_congest_side path ctx w "reference";
           check_congest_side path ctx w "event";
+          check_congest_side path ctx w "sharded";
           (match member "stats_equal" w with
           | Some (Json.Bool true) -> ()
           | Some (Json.Bool false) ->
@@ -220,7 +221,48 @@ let check_congest_bench path =
         ws;
       Printf.printf "%s: congest-bench ok (%d workloads)\n" path
         (List.length ws)
-  | _ -> fail "%s: workloads is not a list" path)
+  | _ -> fail "%s: workloads is not a list" path);
+  (* the scaling ladder: per-workload entries must appear at strictly
+     increasing n (a flat or shuffled ladder means the sweep silently
+     reran one size), each rung numeric, every rung stats-equal *)
+  match require path "scaling" doc with
+  | Json.List [] -> fail "%s: scaling is empty" path
+  | Json.List entries ->
+      let last_n : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iteri
+        (fun idx e ->
+          let ctx = Printf.sprintf "scaling[%d]" idx in
+          let name =
+            match member "name" e with
+            | Some (Json.Str s) -> s
+            | _ -> fail "%s: %s.name missing or not a string" path ctx
+          in
+          let n = congest_int path ctx e "n" in
+          ignore (congest_int path ctx e "rounds");
+          List.iter
+            (fun k ->
+              match member k e with
+              | Some (Json.Float v) when v >= 0. -> ()
+              | Some (Json.Int v) when v >= 0 -> ()
+              | Some (Json.Float _) | Some (Json.Int _) ->
+                  fail "%s: %s.%s is negative" path ctx k
+              | _ -> fail "%s: %s.%s missing or not numeric" path ctx k)
+            [ "event_seconds"; "sharded_seconds"; "speedup" ];
+          (match member "stats_equal" e with
+          | Some (Json.Bool true) -> ()
+          | Some (Json.Bool false) ->
+              fail "%s: %s.stats_equal is false — shard divergence" path ctx
+          | _ -> fail "%s: %s.stats_equal missing or not a bool" path ctx);
+          (match Hashtbl.find_opt last_n name with
+          | Some prev when n <= prev ->
+              fail "%s: %s: n = %d after n = %d for %S — not monotone" path
+                ctx n prev name
+          | _ -> ());
+          Hashtbl.replace last_n name n)
+        entries;
+      Printf.printf "%s: scaling ladder ok (%d entries)\n" path
+        (List.length entries)
+  | _ -> fail "%s: scaling is not a list" path
 
 let usage () =
   prerr_endline

@@ -71,6 +71,70 @@ let is_active t =
    elsewhere in the same run cannot collide into the same stream *)
 let rng t = Random.State.make [| t.seed; 0x6A09; 0xE667; 0xF3BC |]
 
+(* Decorrelated per-shard stream: the shard id goes through the pool's
+   splitmix finalizer so shard 0's stream is not the global {!rng} and
+   adjacent shards do not share prefixes. The sharded simulator keeps its
+   drop/duplicate draws on the single {!rng} stream (drawn in the
+   sequential exchange, so draw order — and every fixed-seed equivalence
+   pin against run_reference — is preserved at every shard count); this
+   derived stream is for shard-local randomness that never has to match
+   a sequential oracle. *)
+let shard_rng t ~shard =
+  if shard < 0 then
+    invalid_arg (Printf.sprintf "Faults.shard_rng: shard %d < 0" shard);
+  Random.State.make
+    [| Parallel.Pool.derive_seed t.seed shard; 0x6A09; 0xE667; 0xF3BC |]
+
+(* Round-indexed fault bookkeeping shared by every simulator loop: crash /
+   recovery schedules keyed by round, the link-outage predicate, and the
+   sorted distinct rounds at which a crash or recovery fires (the events
+   an event-driven fast-forward must not jump over). All of it dormant
+   when the spec is inactive. *)
+type tables = {
+  crash_at : (int, int) Hashtbl.t;
+  recover_at : (int, int) Hashtbl.t;
+  link_down : int -> int -> int -> bool;
+  event_rounds : int array;
+}
+
+let tables t ~n =
+  let crash_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  let recover_at : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  if is_active t then
+    List.iter
+      (fun (c : crash) ->
+        if c.vertex < n then begin
+          Hashtbl.add crash_at c.at_round c.vertex;
+          match c.recover_round with
+          | Some r -> Hashtbl.add recover_at r c.vertex
+          | None -> ()
+        end)
+      t.crashes;
+  let link_down =
+    if t.outages = [] then fun _ _ _ -> false
+    else begin
+      let tbl : (int * int, int * int) Hashtbl.t = Hashtbl.create 7 in
+      List.iter
+        (fun (o : outage) ->
+          let key = (min o.u o.v, max o.u o.v) in
+          Hashtbl.add tbl key (o.from_round, o.until_round))
+        t.outages;
+      fun r a b ->
+        List.exists
+          (fun (lo, hi) -> lo <= r && r <= hi)
+          (Hashtbl.find_all tbl (min a b, max a b))
+    end
+  in
+  let event_rounds =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (Hashtbl.fold
+            (fun k _ acc -> k :: acc)
+            crash_at
+            (Hashtbl.fold (fun k _ acc -> k :: acc) recover_at [])))
+  in
+  { crash_at; recover_at; link_down; event_rounds }
+
 let pp ppf t =
   Format.fprintf ppf
     "seed=%d drop=%g dup=%g crashes=%d outages=%d" t.seed t.drop_rate

@@ -72,4 +72,33 @@ val is_active : t -> bool
     [seed]. Two calls return independent states with identical streams. *)
 val rng : t -> Random.State.t
 
+(** [shard_rng t ~shard] is a per-shard stream, decorrelated from {!rng}
+    and from every other shard via {!Parallel.Pool.derive_seed}. The
+    sharded simulator deliberately does {e not} draw its drop/duplicate
+    fates from these: those draws happen on the single {!rng} stream in
+    the sequential cross-shard exchange, in exactly the reference loop's
+    sender-ascending order, so fixed-seed fault outcomes are identical at
+    every shard and jobs count. Use this for shard-local randomness that
+    has no sequential oracle to match.
+    @raise Invalid_argument if [shard < 0]. *)
+val shard_rng : t -> shard:int -> Random.State.t
+
+(** Round-indexed fault bookkeeping shared by the simulator loops.
+    [crash_at] / [recover_at] list the vertices crashing / recovering at
+    the start of a given round; [link_down r u v] tells whether the
+    {e undirected} link [u -- v] is out in round [r]; [event_rounds] is
+    the sorted distinct rounds at which a crash or recovery fires — the
+    events an event-driven fast-forward must not jump over. *)
+type tables = {
+  crash_at : (int, int) Hashtbl.t;
+  recover_at : (int, int) Hashtbl.t;
+  link_down : int -> int -> int -> bool;
+  event_rounds : int array;
+}
+
+(** [tables t ~n] builds the bookkeeping for an [n]-vertex network.
+    Crash entries for vertices [>= n] are ignored; with [is_active t =
+    false] every table is empty. *)
+val tables : t -> n:int -> tables
+
 val pp : Format.formatter -> t -> unit

@@ -83,6 +83,46 @@ val step :
     fast-forwarded without iterating anything. *)
 type schedule = Every_round | Event_driven
 
+(** Bit-packed message encoding for the sharded loop. [pack m] either
+    returns a {e non-negative} int — the message rides in the arena's
+    payload word, no allocation — or any negative int as an escape, in
+    which case the message is boxed in a per-shard wide-message spill
+    array and the payload word stores the spill index. [unpack] must be a
+    left inverse of [pack] on the non-negative range ([unpack (pack m) =
+    m] whenever [pack m >= 0]); it is never called for escaped messages.
+    Both functions run on worker domains and must be pure. *)
+type 'msg codec = { pack : 'msg -> int; unpack : int -> 'msg }
+
+(** The identity codec for [int] messages: every non-negative message is
+    packed immediate; negative ints fall back to the boxed spill. *)
+val int_codec : int codec
+
+(** [boxed_codec ()] never packs: every message goes through the boxed
+    spill. Correct for any message type; the default when {!run} is given
+    no codec. *)
+val boxed_codec : unit -> 'msg codec
+
+(** How {!run} executes the simulation.
+
+    [Single] (the default) runs the sequential loop on the calling domain.
+
+    [Sharded { shards; pool }] partitions the vertices into [shards]
+    contiguous CSR-aligned ranges (vertex [v] lives in shard [v / chunk]
+    with [chunk = ceil (n / shards)]) and steps the shards in parallel on
+    [pool]'s domains, one barrier per round, while all cross-shard
+    delivery — bandwidth accounting, congestion checks, fault draws —
+    happens sequentially on the calling domain between barriers, in the
+    exact sender-ascending order of the sequential loops. Results (final
+    states and {!stats}) are identical to [Single] at every shard and
+    jobs count, including fixed-seed fault outcomes. [shards] is clamped
+    to at least 1; [shards = 1] still exercises the sharded loop.
+
+    Under [Sharded], the user's [init], [round], [msg_bits] and codec
+    functions execute on worker domains: they must be domain-safe pure
+    functions of their arguments (the wake-up contract already demands
+    this of [round]). *)
+type exec = Single | Sharded of { shards : int; pool : Parallel.Pool.t }
+
 (** Cumulative execution statistics. The accounting invariant is
     [delivered stats + stats.dropped = stats.messages]: every sent message
     is either delivered into an inbox or counted as dropped (injected
@@ -133,12 +173,19 @@ val pp_stats : Format.formatter -> stats -> unit
     vertices were skipped, so fixed-seed fault outcomes are identical
     across schedules for contract-honoring algorithms.
 
+    [?exec] selects sequential or sharded execution (default {!Single});
+    see {!exec}. [?codec] supplies the bit-packed message encoding used by
+    the sharded loop's arenas (default [boxed_codec ()]); it is ignored
+    under [Single].
+
     @raise Congestion_violation when a CONGEST budget is exceeded.
     @raise Invalid_argument if a vertex sends to a non-neighbor, or
     requests [wake_after] < 1. *)
 val run :
   ?faults:Faults.t ->
   ?schedule:schedule ->
+  ?exec:exec ->
+  ?codec:'msg codec ->
   Sparse_graph.Graph.t ->
   bandwidth:bandwidth ->
   msg_bits:('msg -> int) ->

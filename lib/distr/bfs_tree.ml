@@ -13,7 +13,7 @@ type state = {
   announced : bool;
 }
 
-let run (view : Cluster_view.t) ~roots ~rounds =
+let run ?exec (view : Cluster_view.t) ~roots ~rounds =
   Obs.Span.with_ "distr.bfs_tree" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -42,7 +42,7 @@ let run (view : Cluster_view.t) ~roots ~rounds =
     else Network.step st ~wake_after:(rounds + 1 - r)
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -69,7 +69,7 @@ type hstate = {
   last_heard : int;  (* round the parent's heartbeat was last received *)
 }
 
-let run_reliable ?faults ?(patience = 6) (view : Cluster_view.t) ~roots
+let run_reliable ?faults ?exec ?(patience = 6) (view : Cluster_view.t) ~roots
     ~rounds =
   Obs.Span.with_ "distr.bfs_tree_reliable" @@ fun () ->
   let g = view.graph in
@@ -121,7 +121,7 @@ let run_reliable ?faults ?(patience = 6) (view : Cluster_view.t) ~roots
     Network.step st ~send ~halt:(r > rounds)
   in
   let states, stats =
-    Network.run ?faults g
+    Network.run ?faults ?exec g
       ~bandwidth:(Network.congest_bandwidth ~c:16 n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:(rounds + 1)

@@ -11,7 +11,7 @@ type state = {
   fresh : bool;
 }
 
-let run (view : Cluster_view.t) ~sources ~rounds =
+let run ?exec (view : Cluster_view.t) ~sources ~rounds =
   Obs.Span.with_ "distr.broadcast" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -40,7 +40,7 @@ let run (view : Cluster_view.t) ~sources ~rounds =
     else Network.step st ~wake_after:(rounds + 1 - r)
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -61,7 +61,7 @@ type rstate = {
   offered : bool;
 }
 
-let run_reliable ?faults (view : Cluster_view.t) ~sources ~rounds =
+let run_reliable ?faults ?exec (view : Cluster_view.t) ~sources ~rounds =
   Obs.Span.with_ "distr.broadcast_reliable" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -95,7 +95,7 @@ let run_reliable ?faults (view : Cluster_view.t) ~sources ~rounds =
       ~halt:(r > rounds)
   in
   let states, stats =
-    Network.run ?faults g
+    Network.run ?faults ?exec g
       ~bandwidth:(Network.congest_bandwidth ~c:16 n)
       ~msg_bits:(Reliable.packet_bits ~word:w ~body:(fun _ -> w))
       ~init ~round ~max_rounds:(rounds + 1)

@@ -12,7 +12,9 @@ type result = {
 
 (** [run view ~sources ~rounds]: [sources.(v) = Some x] makes [v] originate
     value [x >= 0]. *)
-val run : Cluster_view.t -> sources:int option array -> rounds:int -> result
+val run :
+  ?exec:Congest.Network.exec ->
+  Cluster_view.t -> sources:int option array -> rounds:int -> result
 
 (** Retry-hardened broadcast: informed vertices offer their value to each
     intra-cluster neighbor through the {!Reliable} ack/retry/backoff
@@ -24,6 +26,7 @@ val run : Cluster_view.t -> sources:int option array -> rounds:int -> result
     factor over the plain flood's word). *)
 val run_reliable :
   ?faults:Congest.Faults.t ->
+  ?exec:Congest.Network.exec ->
   Cluster_view.t -> sources:int option array -> rounds:int -> result
 
 (** Every vertex in a cluster with a (unique) source must receive the

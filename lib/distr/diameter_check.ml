@@ -15,7 +15,7 @@ type state = {
   mark_fresh : bool;
 }
 
-let run (view : Cluster_view.t) ~b =
+let run ?exec (view : Cluster_view.t) ~b =
   Obs.Span.with_ "distr.diameter_check" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -79,7 +79,7 @@ let run (view : Cluster_view.t) ~b =
       Network.step { st with marked = st.marked || heard_mark } ~halt:true
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function Max _ -> Bits.words n 1 | Mark -> 1)
       ~init ~round ~max_rounds:(total_rounds + 1)

@@ -69,7 +69,7 @@ let merge ~minmax_bid bid a b =
       else x +. b.(i))
     a
 
-let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
+let run_level ?exec (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
   let g = view.graph in
   let n = Graph.n g in
   let intra = Array.init n (fun v -> Cluster_view.intra_neighbors view v) in
@@ -374,7 +374,7 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
   in
   let idb = Bits.id_bits n in
   let states, stats =
-    Network.run g
+    Network.run ?exec g
       ~bandwidth:(Network.Congest (12 * idb))
       ~msg_bits:(function
         | BDepth _ | Deg _ -> idb
@@ -389,7 +389,7 @@ let run_level (view : Cluster_view.t) ~leader_of ~b ~t ~c ~tau ~seed =
 (* Level orchestration (centralized glue: relabeling only)              *)
 (* ------------------------------------------------------------------ *)
 
-let decompose ?(params = default_params) g ~epsilon =
+let decompose ?(params = default_params) ?exec g ~epsilon =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Distributed_decomposition.decompose: need 0 < epsilon < 1";
   Obs.Span.with_ "distr.decompose" @@ fun () ->
@@ -450,7 +450,7 @@ let decompose ?(params = default_params) g ~epsilon =
       end
     in
     let states, stats =
-      run_level view ~leader_of:leaders.leader_of ~b ~t:t_level
+      run_level ?exec view ~leader_of:leaders.leader_of ~b ~t:t_level
         ~c:params.candidates ~tau ~seed:(params.seed + (77 * !levels))
     in
     total_rounds := !total_rounds + stats.Network.rounds;

@@ -51,7 +51,9 @@ val default_params : params
 (** [decompose ?params g ~epsilon].
     @raise Invalid_argument unless [0 < epsilon < 1]. *)
 val decompose :
-  ?params:params -> Sparse_graph.Graph.t -> epsilon:float -> t
+  ?params:params ->
+  ?exec:Congest.Network.exec ->
+  Sparse_graph.Graph.t -> epsilon:float -> t
 
 (** [verify g t] — inter-cluster budget and measured minimum cluster
     conductance, like {!Spectral.Expander_decomposition.verify}. *)

@@ -21,7 +21,7 @@ type state = {
    an edge joins the matching when both endpoints point at each other. The
    globally best live edge is mutual, so every phase makes progress and the
    matching is maximal when no live edge remains. Two rounds per phase. *)
-let run (view : Cluster_view.t) ?weights ~seed () =
+let run ?exec (view : Cluster_view.t) ?weights ~seed () =
   Obs.Span.with_ "distr.greedy_matching" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -85,7 +85,7 @@ let run (view : Cluster_view.t) ?weights ~seed () =
   in
   let max_rounds = (4 * n) + 8 in
   let states, stats =
-    Network.run g
+    Network.run ?exec g
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> 2)
       ~init ~round ~max_rounds

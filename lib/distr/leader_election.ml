@@ -16,7 +16,7 @@ type state = {
 
 let better (d1, i1) (d2, i2) = d1 > d2 || (d1 = d2 && i1 > i2)
 
-let run (view : Cluster_view.t) ~rounds =
+let run ?exec (view : Cluster_view.t) ~rounds =
   Obs.Span.with_ "distr.leader_election" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -45,7 +45,7 @@ let run (view : Cluster_view.t) ~rounds =
     end
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 2)
       ~init ~round ~max_rounds:(rounds + 1)
@@ -78,7 +78,7 @@ type estate = {
   forwarded : int;  (* newest heartbeat round already forwarded *)
 }
 
-let run_reliable ?faults ?(patience = 12) (view : Cluster_view.t) ~rounds =
+let run_reliable ?faults ?exec ?(patience = 12) (view : Cluster_view.t) ~rounds =
   Obs.Span.with_ "distr.leader_election_reliable" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -185,7 +185,7 @@ let run_reliable ?faults ?(patience = 12) (view : Cluster_view.t) ~rounds =
       ~halt:(r > rounds)
   in
   let states, stats =
-    Network.run ?faults g
+    Network.run ?faults ?exec g
       ~bandwidth:(Network.congest_bandwidth ~c:16 n)
       ~msg_bits:(fun m ->
         match m with

@@ -23,7 +23,7 @@ type state = {
   collected : (int * int) list;      (* leader only *)
 }
 
-let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
+let run ?exec (view : Cluster_view.t) ~leader_of ~rounds_budget =
   Obs.Span.with_ "distr.local_gather" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -122,7 +122,7 @@ let run (view : Cluster_view.t) ~leader_of ~rounds_budget =
   in
   let idb = Bits.id_bits n in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven ~bandwidth:Network.Local
+    Network.run ?exec g ~schedule:Network.Event_driven ~bandwidth:Network.Local
       ~msg_bits:(function
         | Depth _ -> idb
         | Child -> 1

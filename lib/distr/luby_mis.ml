@@ -19,7 +19,7 @@ type state = {
 
 type msg = Draw of int | Joined | Died
 
-let run (view : Cluster_view.t) ~seed =
+let run ?exec (view : Cluster_view.t) ~seed =
   Obs.Span.with_ "distr.luby_mis" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -85,7 +85,7 @@ let run (view : Cluster_view.t) ~seed =
   in
   let max_rounds = 8 * (int_of_float (log (float_of_int (max 2 n)) /. log 2.) + 4) in
   let states, stats =
-    Network.run g
+    Network.run ?exec g
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function Draw _ -> 2 * Bits.id_bits n | Joined | Died -> 2)
       ~init ~round ~max_rounds

@@ -12,7 +12,7 @@ type state = {
   start : int;      (* round at which this vertex's own flood starts *)
 }
 
-let run (view : Cluster_view.t) ~beta ~seed =
+let run ?exec (view : Cluster_view.t) ~beta ~seed =
   if beta <= 0. then invalid_arg "Mpx_clustering.run: beta must be > 0";
   Obs.Span.with_ "distr.mpx_clustering" @@ fun () ->
   let g = view.graph in
@@ -60,7 +60,7 @@ let run (view : Cluster_view.t) ~beta ~seed =
     else Network.step st
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> Bits.words n 1)
       ~init ~round ~max_rounds:horizon

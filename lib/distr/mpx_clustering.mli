@@ -16,4 +16,5 @@ type result = {
 (** [run view ~beta ~seed]. Operates within clusters of [view] (pass
     {!Cluster_view.whole} for the full graph).
     @raise Invalid_argument unless [beta > 0]. *)
-val run : Cluster_view.t -> beta:float -> seed:int -> result
+val run :
+  ?exec:Congest.Network.exec -> Cluster_view.t -> beta:float -> seed:int -> result

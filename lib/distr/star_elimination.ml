@@ -18,7 +18,7 @@ type state = {
   announced : bool;
 }
 
-let run (view : Cluster_view.t) ~max_iterations =
+let run ?exec (view : Cluster_view.t) ~max_iterations =
   Obs.Span.with_ "distr.star_elimination" @@ fun () ->
   let g = view.graph in
   let n = Sparse_graph.Graph.n g in
@@ -120,7 +120,7 @@ let run (view : Cluster_view.t) ~max_iterations =
     end
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function
         | Pendant | Bounce | Gone -> 2

@@ -19,7 +19,7 @@ type state = {
   absorbed : Walk_routing.token list;
 }
 
-let run (view : Cluster_view.t) ~leader_of ~tokens_of ~max_rounds =
+let run ?exec (view : Cluster_view.t) ~leader_of ~tokens_of ~max_rounds =
   Obs.Span.with_ "distr.tree_routing" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
@@ -87,7 +87,7 @@ let run (view : Cluster_view.t) ~leader_of ~tokens_of ~max_rounds =
          else None)
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(function BDepth _ -> Bits.id_bits n | Tok _ -> token_bits)
       ~init ~round ~max_rounds

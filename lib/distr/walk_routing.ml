@@ -28,7 +28,7 @@ type state = {
 
 let token_words = 3 (* origin, seq, step counter *)
 
-let run (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
+let run ?exec (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
     ~max_rounds =
   Obs.Span.with_ "distr.walk_routing" @@ fun () ->
   let g = view.graph in
@@ -110,7 +110,7 @@ let run (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
       ?wake_after:(if st.queue <> [] then Some 1 else None)
   in
   let states, stats =
-    Network.run g ~schedule:Network.Event_driven
+    Network.run ?exec g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> token_bits)
       ~init ~round ~max_rounds

@@ -34,6 +34,7 @@ type result = {
     (experiment E9 sweeps this budget); the run ends when no token is in
     flight or at [max_rounds]. *)
 val run :
+  ?exec:Congest.Network.exec ->
   Cluster_view.t ->
   leader_of:int array ->
   tokens_of:(int -> int) ->

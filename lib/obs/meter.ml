@@ -24,6 +24,14 @@ let k_crashed_rounds = "net.crashed_rounds"
    pre-scheduler profiles byte-identical *)
 let k_active_vertices = "net.active_vertices"
 
+(* flat-inbox footprint, reported by Congest.Network.run (the reference
+   loop keeps list inboxes and records nothing here): the high-watermark
+   of machine words retained by the per-vertex / per-shard flat inbox
+   buffers, and the residual footprint once the run ends — the pair the
+   burst-then-quiescent shrink test pins *)
+let k_inbox_peak_words = "net.inbox_peak_words"
+let k_inbox_final_words = "net.inbox_final_words"
+
 let net ~rounds ~messages ~total_bits ~max_edge_bits =
   if Rt.is_enabled () then begin
     Metric.incr k_runs;
@@ -35,6 +43,12 @@ let net ~rounds ~messages ~total_bits ~max_edge_bits =
 
 let active ~vertices =
   if Rt.is_enabled () then Metric.count k_active_vertices vertices
+
+let inbox ~peak_words ~final_words =
+  if Rt.is_enabled () then begin
+    Metric.set_max k_inbox_peak_words peak_words;
+    Metric.set_max k_inbox_final_words final_words
+  end
 
 let faults ~dropped ~duplicated ~crashed_rounds =
   if Rt.is_enabled () then begin

@@ -12,6 +12,8 @@ val k_dropped : string
 val k_duplicated : string
 val k_crashed_rounds : string
 val k_active_vertices : string
+val k_inbox_peak_words : string
+val k_inbox_final_words : string
 
 val net :
   rounds:int -> messages:int -> total_bits:int -> max_edge_bits:int -> unit
@@ -24,6 +26,14 @@ val active : vertices:int -> unit
     ([net.active_vertices]). Called by the simulator only for
     [Event_driven] runs, so every-round profiles keep their pre-scheduler
     vocabulary. No-op while observability is disabled. *)
+
+val inbox : peak_words:int -> final_words:int -> unit
+(** Record one run's flat-inbox footprint: the high-watermark of machine
+    words retained by the flat inbox buffers ([net.inbox_peak_words],
+    max-merged) and the residual footprint at run end
+    ([net.inbox_final_words], max-merged). Called by [Congest.Network.run]
+    only — the reference loop has no flat buffers. No-op while
+    observability is disabled. *)
 
 val faults : dropped:int -> duplicated:int -> crashed_rounds:int -> unit
 (** Record one faulty network run's fault counters ([net.dropped],

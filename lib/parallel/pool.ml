@@ -4,11 +4,20 @@ let sequential = { jobs = 1 }
 
 let default_jobs () =
   match Sys.getenv_opt "EXPANDER_JOBS" with
-  | Some s ->
+  | Some s when String.trim s <> "" ->
+      (* a malformed value must not silently fall back to the machine's
+         domain count: parity-sensitive runs pin their worker count through
+         this variable, and a typo (EXPANDER_JOBS=O, =0, =-2) changing the
+         pool size unnoticed is exactly the failure mode to reject *)
       (match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> j
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Parallel.Pool.default_jobs: EXPANDER_JOBS=%S is not a \
+                positive integer"
+               s))
+  | Some _ | None -> Domain.recommended_domain_count ()
 
 let create ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -83,3 +92,152 @@ let derive_seed base salt =
     z lxor (z lsr 31)
   in
   mix (base + (salt * 0x1e3779b97f4a7c15)) land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker team                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A [Team] keeps its domains alive across many [run] calls so a
+   round-loop (the sharded CONGEST simulator steps its shards once per
+   simulated round) pays one mutex broadcast per round instead of one
+   domain spawn per shard per round. Tasks are assigned statically by
+   block partition, so the same task always lands on the same worker —
+   no work stealing, no scheduling nondeterminism to reason about. *)
+module Team = struct
+  type state = {
+    tasks : int;
+    workers : int; (* spawned domains + the calling domain *)
+    mutable fn : (int -> unit) option;
+    mutable generation : int;
+    mutable unfinished : int; (* spawned workers still in the current gen *)
+    mutable stopped : bool;
+    errors : exn option array; (* per task, reset at each generation *)
+    mu : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+  }
+
+  type team = { st : state; mutable domains : unit Domain.t array }
+
+  (* worker w's static block of tasks: the caller is worker 0 *)
+  let block st w =
+    let per = st.tasks / st.workers and extra = st.tasks mod st.workers in
+    let lo = (w * per) + min w extra in
+    let hi = lo + per + if w < extra then 1 else 0 in
+    (lo, hi)
+
+  let run_block st w f =
+    let lo, hi = block st w in
+    for t = lo to hi - 1 do
+      match f t with
+      | () -> ()
+      | exception e -> st.errors.(t) <- Some e
+    done
+
+  let worker_loop st w =
+    Domain.DLS.set in_worker true;
+    let seen = ref 0 in
+    Mutex.lock st.mu;
+    let continue = ref true in
+    while !continue do
+      while (not st.stopped) && st.generation = !seen do
+        Condition.wait st.start st.mu
+      done;
+      if st.stopped then continue := false
+      else begin
+        seen := st.generation;
+        let f = match st.fn with Some f -> f | None -> fun _ -> () in
+        Mutex.unlock st.mu;
+        run_block st w f;
+        Mutex.lock st.mu;
+        st.unfinished <- st.unfinished - 1;
+        if st.unfinished = 0 then Condition.signal st.finished
+      end
+    done;
+    Mutex.unlock st.mu
+
+  let create pool ~tasks =
+    if tasks < 0 then invalid_arg "Parallel.Pool.Team.create: tasks < 0";
+    let workers =
+      (* a nested team (created from inside a pool worker) spawns nothing:
+         the outermost pool's [jobs] stays the live-domain bound *)
+      if Domain.DLS.get in_worker then 1 else max 1 (min pool.jobs tasks)
+    in
+    let st =
+      {
+        tasks;
+        workers;
+        fn = None;
+        generation = 0;
+        unfinished = 0;
+        stopped = false;
+        errors = Array.make (max 1 tasks) None;
+        mu = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+      }
+    in
+    let span_base = Obs.Span.current_path () in
+    let domains =
+      Array.init (workers - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Obs.Span.set_ambient span_base;
+              worker_loop st (i + 1)))
+    in
+    { st; domains }
+
+  let raise_first st =
+    (* deterministic error choice: lowest-indexed failing task wins, the
+       same contract as [mapi] *)
+    Array.iteri
+      (fun t e ->
+        match e with
+        | Some exn ->
+            st.errors.(t) <- None;
+            raise exn
+        | None -> ())
+      st.errors
+
+  let run team f =
+    let st = team.st in
+    Array.fill st.errors 0 (Array.length st.errors) None;
+    if st.workers <= 1 then begin
+      (* inline path: same run-every-task-then-raise-lowest semantics as
+         the parallel path, so a failure cannot change which tasks ran *)
+      let was_worker = Domain.DLS.get in_worker in
+      Domain.DLS.set in_worker true;
+      for t = 0 to st.tasks - 1 do
+        match f t with () -> () | exception e -> st.errors.(t) <- Some e
+      done;
+      Domain.DLS.set in_worker was_worker;
+      raise_first st
+    end
+    else begin
+      Mutex.lock st.mu;
+      st.fn <- Some f;
+      st.generation <- st.generation + 1;
+      st.unfinished <- st.workers - 1;
+      Condition.broadcast st.start;
+      Mutex.unlock st.mu;
+      let was_worker = Domain.DLS.get in_worker in
+      Domain.DLS.set in_worker true;
+      run_block st 0 f;
+      Domain.DLS.set in_worker was_worker;
+      Mutex.lock st.mu;
+      while st.unfinished > 0 do
+        Condition.wait st.finished st.mu
+      done;
+      st.fn <- None;
+      Mutex.unlock st.mu;
+      raise_first st
+    end
+
+  let shutdown team =
+    let st = team.st in
+    Mutex.lock st.mu;
+    st.stopped <- true;
+    Condition.broadcast st.start;
+    Mutex.unlock st.mu;
+    Array.iter Domain.join team.domains;
+    team.domains <- [||]
+end

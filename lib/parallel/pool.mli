@@ -24,7 +24,12 @@ val sequential : t
 
 (** [default_jobs ()] is the [EXPANDER_JOBS] environment variable when it
     parses as a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    [Domain.recommended_domain_count ()] (the variable unset, or set to
+    whitespace only).
+
+    @raise Invalid_argument if [EXPANDER_JOBS] is set to anything else —
+    a zero, negative or unparseable value is a typo that must not
+    silently change the worker count of a parity-sensitive run. *)
 val default_jobs : unit -> int
 
 (** [create ?jobs ()] makes a pool of [jobs] workers (default
@@ -54,3 +59,36 @@ val map_reduce :
     into an independent non-negative stream seed. Use it to give each
     parallel task its own deterministic randomness. *)
 val derive_seed : int -> int -> int
+
+(** Persistent worker team: a fixed task count fanned out over domains
+    that stay parked between calls, for callers that re-run the same
+    task partition many times (one barrier per call instead of one
+    domain spawn per task per call — the sharded CONGEST simulator runs
+    one {!Team.run} per simulated round).
+
+    Tasks are assigned statically: task [t] always runs on the same
+    worker (block partition, the calling domain is worker 0), so there
+    is no scheduling nondeterminism. The determinism contract of the
+    pool applies unchanged: task functions must not share mutable state
+    except by a discipline the caller enforces between calls. *)
+module Team : sig
+  type team
+
+  (** [create pool ~tasks] spawns [min (jobs pool) tasks - 1] worker
+      domains (none when the pool is sequential, [tasks <= 1], or the
+      caller is itself a pool worker — nested teams run inline, keeping
+      the outermost pool's [jobs] the live-domain bound). The team must
+      be released with {!shutdown}. *)
+  val create : t -> tasks:int -> team
+
+  (** [run team f] executes [f t] for every task [t] in [0, tasks) and
+      returns when all have finished. Every task runs even if some
+      raise; the exception of the lowest-indexed failing task is then
+      re-raised, exactly like {!mapi}. Not reentrant: do not call [run]
+      from inside a task of the same team. *)
+  val run : team -> (int -> unit) -> unit
+
+  (** [shutdown team] stops and joins the worker domains. Idempotent.
+      Calling {!run} after [shutdown] deadlocks the parallel path; don't. *)
+  val shutdown : team -> unit
+end

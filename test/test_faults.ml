@@ -73,6 +73,22 @@ let test_rng_deterministic () =
   checkb "distinct seeds give distinct streams" false
     (draw (Faults.rng spec) = draw (Faults.rng other))
 
+let test_shard_rng () =
+  let spec = Faults.make ~drop_rate:0.5 ~seed:99 () in
+  let draw st = List.init 8 (fun _ -> Random.State.float st 1.) in
+  Alcotest.(check (list (float 0.)))
+    "identical streams from the same shard"
+    (draw (Faults.shard_rng spec ~shard:3))
+    (draw (Faults.shard_rng spec ~shard:3));
+  checkb "distinct shards give distinct streams" false
+    (draw (Faults.shard_rng spec ~shard:0)
+    = draw (Faults.shard_rng spec ~shard:1));
+  checkb "decorrelated from the spec rng" false
+    (draw (Faults.shard_rng spec ~shard:0) = draw (Faults.rng spec));
+  match Faults.shard_rng spec ~shard:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shard -1: expected Invalid_argument"
+
 (* ------------------------------------------------------------------ *)
 (* Network.run fault semantics on hand-built instances                  *)
 (* ------------------------------------------------------------------ *)
@@ -191,6 +207,49 @@ let test_active_spec_without_firing_faults () =
       g ~last:4
   in
   checkb "dormant active spec = faultless run" true (plain = dormant)
+
+let test_duplication_last_traffic () =
+  (* every delivery is duplicated: the duplicate rides in the same round
+     as its original, so last_traffic_round must equal the last sending
+     round — identically in the reference, event-driven and sharded
+     loops (the satellite-4 accounting pin) *)
+  let g = Generators.path 2 in
+  let faults () = Faults.make ~duplicate_rate:1.0 ~seed:11 () in
+  let last = 3 in
+  let round r (ctx : Network.ctx) () _ =
+    if ctx.id = 0 then
+      if r > last then Network.step () ~halt:true
+      else Network.step () ~send:[ (1, r) ] ~wake_after:1
+    else if r > last + 1 then Network.step () ~halt:true
+    else Network.step () ~wake_after:(last + 2 - r)
+  in
+  let _, ref_stats =
+    Network.run_reference ~faults:(faults ()) g ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:10
+  in
+  let _, ev_stats =
+    Network.run ~faults:(faults ()) g ~schedule:Network.Event_driven
+      ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:10
+  in
+  let pool = Parallel.Pool.create ~jobs:2 () in
+  let _, sh_stats =
+    Network.run ~faults:(faults ()) g ~schedule:Network.Event_driven
+      ~exec:(Network.Sharded { shards = 2; pool })
+      ~codec:Network.int_codec ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:10
+  in
+  check "last traffic = last sending round" last
+    ref_stats.Network.last_traffic_round;
+  check "every delivery duplicated" last ref_stats.Network.duplicated;
+  checkb "event loop matches" true (ref_stats = ev_stats);
+  checkb "sharded loop matches" true (ref_stats = sh_stats)
 
 let test_fault_counters_metered () =
   Obs.reset ();
@@ -535,6 +594,7 @@ let () =
           tc "make validates" test_make_validation;
           tc "is_active" test_is_active;
           tc "rng deterministic" test_rng_deterministic;
+          tc "shard rng streams" test_shard_rng;
         ] );
       ( "network",
         [
@@ -546,6 +606,7 @@ let () =
           tc "inactive spec is the identity" test_inactive_spec_is_identity;
           tc "active spec without firing faults"
             test_active_spec_without_firing_faults;
+          tc "duplication-only last traffic" test_duplication_last_traffic;
           tc "fault counters reach the meter" test_fault_counters_metered;
         ] );
       ( "reliable",

@@ -90,6 +90,86 @@ let test_default_jobs_env () =
         "positive default" true
         (Parallel.Pool.default_jobs () >= 1)
 
+let test_default_jobs_rejects_malformed_env () =
+  (* a malformed EXPANDER_JOBS must raise, never silently fall back to
+     the machine default (the silent-substitution regression) *)
+  let saved = Sys.getenv_opt "EXPANDER_JOBS" in
+  let restore () =
+    match saved with
+    | Some v -> Unix.putenv "EXPANDER_JOBS" v
+    | None -> Unix.putenv "EXPANDER_JOBS" ""
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  let expect_invalid v =
+    Unix.putenv "EXPANDER_JOBS" v;
+    match Parallel.Pool.default_jobs () with
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S: message names the variable" v)
+          true
+          (let has needle s =
+             let nl = String.length needle and sl = String.length s in
+             let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has "EXPANDER_JOBS" msg && has v msg)
+    | j -> Alcotest.failf "EXPANDER_JOBS=%S: expected Invalid_argument, got %d" v j
+  in
+  List.iter expect_invalid [ "O"; "0"; "-3"; "4x"; "2.5" ];
+  (* empty / whitespace values mean unset, valid values still win *)
+  Unix.putenv "EXPANDER_JOBS" "";
+  Alcotest.(check bool)
+    "empty value falls back" true
+    (Parallel.Pool.default_jobs () >= 1);
+  Unix.putenv "EXPANDER_JOBS" " 3 ";
+  check "whitespace-padded value parses" 3 (Parallel.Pool.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Team barrier                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_team_runs_every_task () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let team = Parallel.Pool.Team.create pool ~tasks:13 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
+  @@ fun () ->
+  let hits = Array.make 13 0 in
+  (* several rounds over the same team: each run must execute every task
+     exactly once, with writes visible after the barrier *)
+  for round = 1 to 5 do
+    Parallel.Pool.Team.run team (fun i -> hits.(i) <- hits.(i) + 1);
+    Array.iteri
+      (fun i h -> check (Printf.sprintf "round %d task %d" round i) round h)
+      hits
+  done
+
+let test_team_exception_lowest_task_wins () =
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let team = Parallel.Pool.Team.create pool ~tasks:16 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
+  @@ fun () ->
+  (match
+     Parallel.Pool.Team.run team (fun i ->
+         if i = 5 || i = 11 then failwith (string_of_int i))
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest-indexed failure re-raised" "5" msg
+  | () -> Alcotest.fail "expected Failure");
+  (* the team survives a failed round *)
+  let sum = Array.make 16 0 in
+  Parallel.Pool.Team.run team (fun i -> sum.(i) <- i);
+  check "next run still works" 120 (Array.fold_left ( + ) 0 sum)
+
+let test_team_sequential_pool_inline () =
+  let team = Parallel.Pool.Team.create Parallel.Pool.sequential ~tasks:7 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
+  @@ fun () ->
+  let order = ref [] in
+  Parallel.Pool.Team.run team (fun i -> order := i :: !order);
+  (* jobs = 1 runs the tasks inline, in ascending order *)
+  Alcotest.(check (list int)) "inline ascending" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.rev !order)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel/sequential equivalence over random graphs                   *)
 (* ------------------------------------------------------------------ *)
@@ -169,6 +249,15 @@ let () =
           tc "nested maps run inline" test_nested_map_runs_inline;
           tc "derive_seed deterministic" test_derive_seed_deterministic;
           tc "default_jobs honours EXPANDER_JOBS" test_default_jobs_env;
+          tc "default_jobs rejects malformed EXPANDER_JOBS"
+            test_default_jobs_rejects_malformed_env;
+        ] );
+      ( "team",
+        [
+          tc "run executes every task, repeatedly" test_team_runs_every_task;
+          tc "lowest-indexed exception wins" test_team_exception_lowest_task_wins;
+          tc "sequential pool runs inline in order"
+            test_team_sequential_pool_inline;
         ] );
       ( "equivalence",
         [ qt decompose_equivalence; qt verify_equivalence;

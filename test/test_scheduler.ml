@@ -69,6 +69,12 @@ let chaos_round r (ctx : Network.ctx) st inbox =
 
 let chaos_init (ctx : Network.ctx) = (ctx.id * 97) land 1023
 
+(* worker pools shared by the sharded runs below; created on first use *)
+let shard_pool1 = lazy (Parallel.Pool.create ~jobs:1 ())
+let shard_pool4 = lazy (Parallel.Pool.create ~jobs:4 ())
+
+let shard_pool jobs = Lazy.force (if jobs = 1 then shard_pool1 else shard_pool4)
+
 let run_chaos ?faults ~how g =
   let n = Graph.n g in
   match how with
@@ -86,6 +92,18 @@ let run_chaos ?faults ~how g =
   | `Event ->
       Network.run ?faults ~schedule:Network.Event_driven g
         ~bandwidth:Network.Local
+        ~msg_bits:(fun _ -> Bits.id_bits n)
+        ~init:chaos_init ~round:chaos_round
+        ~max_rounds:(chaos_budget + 2)
+  | `Sharded (schedule, shards, jobs, packed) ->
+      (* chaos messages are small non-negative ints, so both codecs are
+         exact; the boxed one exercises the wide-spill path *)
+      let codec =
+        if packed then Network.int_codec else Network.boxed_codec ()
+      in
+      Network.run ?faults ~schedule
+        ~exec:(Network.Sharded { shards; pool = shard_pool jobs })
+        ~codec g ~bandwidth:Network.Local
         ~msg_bits:(fun _ -> Bits.id_bits n)
         ~init:chaos_init ~round:chaos_round
         ~max_rounds:(chaos_budget + 2)
@@ -366,6 +384,193 @@ let test_every_round_ignores_wake_after () =
   check "stepped every round" 8 !count
 
 (* ------------------------------------------------------------------ *)
+(* Wake-vs-crash pins                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The contract under test: a crash cancels the vertex's pending wake;
+   only the recovery step re-arms it. Vertex 1 arms a wake for round 11
+   in round 1 and re-aims every later step at round 11, halting there;
+   vertex 0 halts immediately. The event log records every round in which
+   vertex 1 was stepped (only vertex 1 writes, and the step-phase barrier
+   orders the writes, so the log is race-free under the sharded loop). *)
+let wake_crash_harness ~crashes how =
+  let g = Generators.path 2 in
+  let log = ref [] in
+  let round r (ctx : Network.ctx) () _ =
+    if ctx.id = 0 then
+      (* stays alive past every outage so the network can wait for the
+         crashed vertex's recovery *)
+      if r >= 16 then Network.step () ~halt:true
+      else Network.step () ~wake_after:(16 - r)
+    else begin
+      log := r :: !log;
+      if r >= 11 then Network.step () ~halt:true
+      else if r = 1 then Network.step () ~wake_after:10
+      else Network.step () ~wake_after:(11 - r)
+    end
+  in
+  let faults = Faults.make ~crashes ~seed:21 () in
+  let run schedule exec =
+    log := [];
+    let _, st =
+      Network.run g ~faults ~schedule ?exec ~codec:Network.int_codec
+        ~bandwidth:Network.Local
+        ~msg_bits:(fun _ -> 1)
+        ~init:(fun _ -> ())
+        ~round ~max_rounds:20
+    in
+    (st, List.rev !log)
+  in
+  let _, ref_stats =
+    Network.run_reference g ~faults ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:20
+  in
+  let exec =
+    match how with
+    | `Event -> None
+    | `Sharded ->
+        Some (Network.Sharded { shards = 2; pool = shard_pool 4 })
+  in
+  let st, steps = run Network.Event_driven exec in
+  Alcotest.check stats "stats match reference" ref_stats st;
+  steps
+
+let test_crash_before_wake () =
+  (* crash lands before the armed round and the outage covers it: the
+     round-11 wake is lost; the vertex next steps at recovery (15) and,
+     being past round 11, halts there *)
+  let crashes =
+    [ { Faults.vertex = 1; at_round = 2; recover_round = Some 15 } ]
+  in
+  List.iter
+    (fun how ->
+      Alcotest.(check (list int))
+        "stepped at 1 and recovery only" [ 1; 15 ]
+        (wake_crash_harness ~crashes how))
+    [ `Event; `Sharded ]
+
+let test_recover_before_wake () =
+  (* recovery lands before the armed round: the recovery step re-arms the
+     round-11 wake, which must fire exactly once *)
+  let crashes =
+    [ { Faults.vertex = 1; at_round = 2; recover_round = Some 3 } ]
+  in
+  List.iter
+    (fun how ->
+      Alcotest.(check (list int))
+        "one wake after re-arm" [ 1; 3; 11 ]
+        (wake_crash_harness ~crashes how))
+    [ `Event; `Sharded ]
+
+let test_crash_recover_crash () =
+  (* two outages before the armed round: each crash cancels, each
+     recovery re-arms, and the wake still fires exactly once *)
+  let crashes =
+    [
+      { Faults.vertex = 1; at_round = 2; recover_round = Some 4 };
+      { Faults.vertex = 1; at_round = 6; recover_round = Some 9 };
+    ]
+  in
+  List.iter
+    (fun how ->
+      Alcotest.(check (list int))
+        "wake survives the crash/recover chain" [ 1; 4; 9; 11 ]
+        (wake_crash_harness ~crashes how))
+    [ `Event; `Sharded ]
+
+let test_fast_forwarded_wake_traffic () =
+  (* the only traffic of the run is sent from a fast-forwarded wake: the
+     event loop jumps from round 1 to round 11, and the send landing in
+     the post-jump round must set last_traffic_round exactly as the
+     reference loop does *)
+  let g = Generators.path 2 in
+  let round r (ctx : Network.ctx) () inbox =
+    if ctx.id = 0 then
+      if r >= 11 then Network.step () ~send:[ (1, 7) ] ~halt:true
+      else Network.step () ~wake_after:(11 - r)
+    else Network.step () ~halt:(inbox <> [])
+  in
+  let _, ref_stats =
+    Network.run_reference g ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:20
+  in
+  let _, ev_stats =
+    Network.run g ~schedule:Network.Event_driven ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:20
+  in
+  let _, sh_stats =
+    Network.run g ~schedule:Network.Event_driven
+      ~exec:(Network.Sharded { shards = 2; pool = shard_pool 4 })
+      ~codec:Network.int_codec ~bandwidth:Network.Local
+      ~msg_bits:(fun _ -> 1)
+      ~init:(fun _ -> ())
+      ~round ~max_rounds:20
+  in
+  check "last_traffic_round" 11 ref_stats.Network.last_traffic_round;
+  Alcotest.check stats "event matches" ref_stats ev_stats;
+  Alcotest.check stats "sharded matches" ref_stats sh_stats
+
+(* ------------------------------------------------------------------ *)
+(* Inbox footprint                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* burst-then-trickle-then-quiescent: round 1 floods the star center
+   (growing its flat inbox past the 64-slot shrink threshold), then a
+   single leaf trickles one message per round. The high-watermark shrink
+   must return the footprint to near-baseline — pinned through the
+   net.inbox_*_words meters. *)
+let inbox_shrink_harness exec =
+  let leaves = 100 in
+  let g = Generators.star leaves in
+  let round r (ctx : Network.ctx) _ _ =
+    if r >= 12 then Network.step 0 ~halt:true
+    else if ctx.id = 0 then Network.step 0 ~wake_after:1
+    else if r = 1 then Network.step 0 ~send:[ (0, ctx.id) ] ~wake_after:1
+    else if ctx.id = 1 then Network.step 0 ~send:[ (0, r) ] ~wake_after:1
+    else Network.step 0 ~wake_after:(12 - r)
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Obs.Span.with_ "net" (fun () ->
+      ignore
+        (Network.run g ?exec ~codec:Network.int_codec
+           ~schedule:Network.Event_driven ~bandwidth:Network.Local
+           ~msg_bits:(fun _ -> 1)
+           ~init:(fun _ -> 0)
+           ~round ~max_rounds:20));
+  let tree = Obs.snapshot_tree () in
+  Obs.disable ();
+  match Obs.Agg.find_path tree [ "net" ] with
+  | None -> Alcotest.fail "no span recorded"
+  | Some node ->
+      let max_of key =
+        match Obs.Agg.SMap.find_opt key node.Obs.Agg.maxes with
+        | Some v -> v
+        | None -> 0
+      in
+      (max_of Obs.Meter.k_inbox_peak_words,
+       max_of Obs.Meter.k_inbox_final_words)
+
+let test_inbox_shrinks_after_burst () =
+  let peak, final = inbox_shrink_harness None in
+  (* the burst put >= 100 two-word slots in the center's inbox *)
+  checkb "peak reflects the burst" true (peak >= 200);
+  checkb "footprint returned to baseline" true (final <= 64);
+  let peak, final =
+    inbox_shrink_harness
+      (Some (Network.Sharded { shards = 4; pool = shard_pool 4 }))
+  in
+  (* arena slots are three words plus the wide spill *)
+  checkb "sharded peak reflects the burst" true (peak >= 300);
+  checkb "sharded arena shrank" true (final <= peak / 2)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck equivalence properties                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -464,6 +669,57 @@ let equiv_across_pool_sizes =
       Parallel.Pool.map_list (Lazy.force pool1) task seeds
       = Parallel.Pool.map_list (Lazy.force pool4) task seeds)
 
+(* shard-grid configurations: shard counts around and above the vertex
+   counts the graph generator produces, both pool sizes, both codecs *)
+let sharded_conf_gen =
+  let open QCheck.Gen in
+  oneofl [ 1; 2; 3; 5 ] >>= fun shards ->
+  oneofl [ 1; 4 ] >>= fun jobs ->
+  bool >>= fun packed -> return (shards, jobs, packed)
+
+let sharded_arb =
+  QCheck.make
+    ~print:(fun ((name, _), (shards, jobs, packed)) ->
+      Printf.sprintf "%s shards=%d jobs=%d packed=%b" name shards jobs packed)
+    QCheck.Gen.(pair graph_gen sharded_conf_gen)
+
+let sharded_fault_arb =
+  QCheck.make
+    ~print:(fun ((name, _, _), (shards, jobs, packed)) ->
+      Printf.sprintf "%s shards=%d jobs=%d packed=%b" name shards jobs packed)
+    QCheck.Gen.(pair fault_gen sharded_conf_gen)
+
+let equiv_sharded_fault_free =
+  QCheck.Test.make ~name:"sharded = reference (fault-free)" ~count:40
+    sharded_arb (fun ((_, g), (shards, jobs, packed)) ->
+      let s_ref, st_ref = run_chaos ~how:`Reference g in
+      let s_sh, st_sh =
+        run_chaos ~how:(`Sharded (Network.Event_driven, shards, jobs, packed)) g
+      in
+      s_ref = s_sh && st_ref = st_sh)
+
+let equiv_sharded_under_faults =
+  QCheck.Test.make ~name:"sharded = reference (fixed fault seed)" ~count:40
+    sharded_fault_arb (fun ((_, g, faults), (shards, jobs, packed)) ->
+      let s_ref, st_ref = run_chaos ~faults ~how:`Reference g in
+      let s_sh, st_sh =
+        run_chaos ~faults
+          ~how:(`Sharded (Network.Event_driven, shards, jobs, packed))
+          g
+      in
+      s_ref = s_sh && st_ref = st_sh)
+
+let equiv_sharded_every_round =
+  QCheck.Test.make ~name:"sharded Every_round = reference (faulty)" ~count:20
+    sharded_fault_arb (fun ((_, g, faults), (shards, jobs, packed)) ->
+      let s_ref, st_ref = run_chaos ~faults ~how:`Reference g in
+      let s_sh, st_sh =
+        run_chaos ~faults
+          ~how:(`Sharded (Network.Every_round, shards, jobs, packed))
+          g
+      in
+      s_ref = s_sh && st_ref = st_sh)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let qt t = QCheck_alcotest.to_alcotest t in
@@ -486,11 +742,26 @@ let () =
           tc "Every_round ignores wake_after"
             test_every_round_ignores_wake_after;
         ] );
+      ( "wake vs crash",
+        [
+          tc "crash before wake" test_crash_before_wake;
+          tc "recover before wake" test_recover_before_wake;
+          tc "crash-recover-crash" test_crash_recover_crash;
+          tc "fast-forwarded wake traffic" test_fast_forwarded_wake_traffic;
+        ] );
+      ( "inbox footprint",
+        [ tc "shrinks after a burst" test_inbox_shrinks_after_burst ] );
       ( "equivalence",
         [
           qt equiv_fault_free;
           qt equiv_every_round;
           qt equiv_under_faults;
           qt equiv_across_pool_sizes;
+        ] );
+      ( "sharded equivalence",
+        [
+          qt equiv_sharded_fault_free;
+          qt equiv_sharded_under_faults;
+          qt equiv_sharded_every_round;
         ] );
     ]
