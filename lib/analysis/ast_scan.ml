@@ -109,6 +109,33 @@ let is_floatish (e : expression) =
       | None -> false)
   | _ -> false
 
+(* every variable bound by a pattern, however deep *)
+let pat_vars (p : pattern) =
+  let acc = ref [] in
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> acc := txt :: !acc
+    | Ppat_alias (p, { txt; _ }) ->
+        acc := txt :: !acc;
+        go p
+    | Ppat_tuple ps | Ppat_array ps -> List.iter go ps
+    | Ppat_construct (_, Some (_, p))
+    | Ppat_variant (_, Some p)
+    | Ppat_constraint (p, _)
+    | Ppat_lazy p
+    | Ppat_exception p
+    | Ppat_open (_, p) ->
+        go p
+    | Ppat_record (fields, _) -> List.iter (fun (_, p) -> go p) fields
+    | Ppat_or (a, b) ->
+        (* both sides bind the same names; visiting both only duplicates *)
+        go a;
+        go b
+    | _ -> ()
+  in
+  go p;
+  List.sort_uniq compare !acc
+
 (* [loc_within inner outer]: character-range containment in one file *)
 let loc_within (inner : Location.t) (outer : Location.t) =
   inner.loc_start.pos_fname = outer.loc_start.pos_fname

@@ -12,7 +12,13 @@ type def = {
   refs : string list;
 }
 
-type t = { by_qname : def SMap.t }
+type t = {
+  by_qname : def SMap.t;
+  aliases : string SMap.t;
+      (* "Pool.run_block" -> "Pool.Team.run_block": submodule values are
+         also reachable under their file-module-qualified short name, which
+         is what Project.resolve produces for intra-file references *)
+}
 
 (* constructors whose application at a toplevel binding makes the binding
    shared mutable state (a data race when reached from pooled tasks) *)
@@ -56,40 +62,75 @@ let resolve_refs project ~current_module body =
 
 let build project sources =
   let by_qname = ref SMap.empty in
+  let aliases = ref SMap.empty in
   List.iter
     (fun ((src : Source.t), str) ->
       let m = Source.module_name src in
-      List.iter
-        (fun (item : Parsetree.structure_item) ->
-          match item.pstr_desc with
-          | Pstr_value (_, vbs) ->
-              List.iter
-                (fun (vb : Parsetree.value_binding) ->
-                  match Ast_scan.pat_var vb.pvb_pat with
-                  | None -> ()
-                  | Some name ->
-                      let qname = m ^ "." ^ name in
-                      let d =
-                        {
-                          qname;
-                          module_name = m;
-                          name;
-                          loc = vb.pvb_loc;
-                          mutable_kind = mutable_kind_of vb.pvb_expr;
-                          params = Ast_scan.params_of vb.pvb_expr;
-                          body = vb.pvb_expr;
-                          refs =
-                            resolve_refs project ~current_module:m vb.pvb_expr;
-                        }
-                      in
-                      by_qname := SMap.add qname d !by_qname)
-                vbs
-          | _ -> ())
-        str)
+      (* walk structure items, descending into nested modules so values
+         inside [module Team = struct ... end] become defs too; [mpath] is
+         the submodule path below the file module *)
+      let rec walk mpath (items : Parsetree.structure) =
+        List.iter
+          (fun (item : Parsetree.structure_item) ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) ->
+                List.iter
+                  (fun (vb : Parsetree.value_binding) ->
+                    match Ast_scan.pat_var vb.pvb_pat with
+                    | None -> ()
+                    | Some name ->
+                        let qname =
+                          String.concat "." ((m :: mpath) @ [ name ])
+                        in
+                        let d =
+                          {
+                            qname;
+                            module_name = m;
+                            name;
+                            loc = vb.pvb_loc;
+                            mutable_kind = mutable_kind_of vb.pvb_expr;
+                            params = Ast_scan.params_of vb.pvb_expr;
+                            body = vb.pvb_expr;
+                            refs =
+                              resolve_refs project ~current_module:m
+                                vb.pvb_expr;
+                          }
+                        in
+                        if not (SMap.mem qname !by_qname) then begin
+                          by_qname := SMap.add qname d !by_qname;
+                          (* intra-file references to a submodule value
+                             resolve to "File.value"; point that short name
+                             here unless a toplevel value owns it *)
+                          if mpath <> [] then begin
+                            let short = m ^ "." ^ name in
+                            if not (SMap.mem short !aliases) then
+                              aliases := SMap.add short qname !aliases
+                          end
+                        end)
+                  vbs
+            | Pstr_module mb -> (
+                match (mb.pmb_name.txt, mb.pmb_expr.Parsetree.pmod_desc) with
+                | Some sub, Pmod_structure inner ->
+                    walk (mpath @ [ sub ]) inner
+                | _ -> ())
+            | _ -> ())
+          items
+      in
+      walk [] str)
     sources;
-  { by_qname = !by_qname }
+  (* an alias must never shadow a genuine toplevel value *)
+  let aliases =
+    SMap.filter (fun short _ -> not (SMap.mem short !by_qname)) !aliases
+  in
+  { by_qname = !by_qname; aliases }
 
-let find t q = SMap.find_opt q t.by_qname
+let find t q =
+  match SMap.find_opt q t.by_qname with
+  | Some d -> Some d
+  | None -> (
+      match SMap.find_opt q t.aliases with
+      | Some primary -> SMap.find_opt primary t.by_qname
+      | None -> None)
 
 let defs t = List.map snd (SMap.bindings t.by_qname)
 

@@ -1,8 +1,10 @@
 (** Value-level definition/call graph across the project. Nodes are
-    toplevel [let]-bound values keyed by ["Module.value"]; edges go from a
-    definition to every project value its body references (resolved
-    through {!Project.resolve}, so cross-module and library-wrapper
-    references are followed). *)
+    module-level [let]-bound values keyed by ["Module.value"] (values
+    inside nested modules are keyed ["Module.Sub.value"] and additionally
+    answer to the short ["Module.value"] form, which is what intra-file
+    references resolve to); edges go from a definition to every project
+    value its body references (resolved through {!Project.resolve}, so
+    cross-module and library-wrapper references are followed). *)
 
 type def = {
   qname : string;  (** "Module.value" *)

@@ -1,0 +1,381 @@
+(* Closure-capture layer shared by the parallel-safety rules (P001, P002)
+   and reusable by anything that needs to reason about what a closure
+   handed to the domain pool touches. Two services live here:
+
+   - task-site discovery: every expression passed as a task function to a
+     Parallel.Pool entrypoint (map / mapi / map_list / map_reduce /
+     Team.run / Domain.spawn), found through project wrappers whose
+     parameter is forwarded into a pool call (fixpoint, as P001 always
+     did);
+
+   - a free-write analysis: the writes a closure performs on variables it
+     does NOT bind itself. Mutability is proven by the write FORM
+     ([:=], [Array.set], [Hashtbl.replace], a record-field set, ...), so
+     no type information is needed. [Atomic.set] is deliberately absent
+     from the write table: atomic writes are the sanctioned way to share
+     state across domains (P003 separately polices get-then-set). *)
+
+open Parsetree
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Pool entrypoints and task-argument extraction                        *)
+(* ------------------------------------------------------------------ *)
+
+(* how a callee consumes task functions: positional index among Nolabel
+   args, or labelled arguments *)
+type task_spec = Positional of int list | Labelled of string list
+
+let pool_entrypoints =
+  [
+    ([ "Pool"; "map" ], Positional [ 1 ]);
+    ([ "Pool"; "mapi" ], Positional [ 1 ]);
+    ([ "Pool"; "map_list" ], Positional [ 1 ]);
+    ([ "Pool"; "map_reduce" ], Labelled [ "map"; "reduce" ]);
+    ([ "Pool"; "Team"; "run" ], Positional [ 1 ]);
+    ([ "Team"; "run" ], Positional [ 1 ]);
+    ([ "Domain"; "spawn" ], Positional [ 0 ]);
+  ]
+
+let spec_of_callee comps =
+  match
+    List.find_opt
+      (fun (suffix, _) -> Ast_scan.suffix_matches comps ~suffix)
+      pool_entrypoints
+  with
+  | Some (_, spec) -> Some spec
+  | None -> None
+
+(* positional args = Nolabel args in order *)
+let task_args_of spec args =
+  match spec with
+  | Positional wanted ->
+      let positional =
+        List.filter_map
+          (function Asttypes.Nolabel, e -> Some e | _ -> None)
+          args
+      in
+      List.filteri (fun i _ -> List.mem i wanted) positional
+  | Labelled names ->
+      List.filter_map
+        (function
+          | Asttypes.Labelled l, e when List.mem l names -> Some e
+          | _ -> None)
+        args
+
+(* local let-bound names inside a definition body, with their right-hand
+   sides, so a task passed by (local) name can be chased *)
+let local_bindings body =
+  let acc = ref SMap.empty in
+  Ast_scan.iter_expressions_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_let (_, vbs, _) ->
+          List.iter
+            (fun vb ->
+              match Ast_scan.pat_var vb.pvb_pat with
+              | Some n -> acc := SMap.add n vb.pvb_expr !acc
+              | None -> ())
+            vbs
+      | _ -> ());
+  !acc
+
+(* Resolve every identifier mentioned by [expr] into call-graph seeds,
+   expanding through the enclosing definition's local bindings. *)
+let seeds_of_expr project ~module_name ~locals expr =
+  let seeds = ref SSet.empty in
+  let visited_locals = ref SSet.empty in
+  let rec expand expr =
+    List.iter
+      (fun comps ->
+        (match comps with
+        | [ n ] when SMap.mem n locals && not (SSet.mem n !visited_locals) ->
+            visited_locals := SSet.add n !visited_locals;
+            expand (SMap.find n locals)
+        | _ -> ());
+        match Project.resolve project ~current_module:module_name comps with
+        | Some q -> seeds := SSet.add q !seeds
+        | None -> ())
+      (Ast_scan.collect_paths expr)
+  in
+  expand expr;
+  SSet.elements !seeds
+
+(* ------------------------------------------------------------------ *)
+(* Task-site discovery (wrapper fixpoint)                               *)
+(* ------------------------------------------------------------------ *)
+
+type site = {
+  def : Callgraph.def;  (* definition whose body contains the call *)
+  task : expression;  (* the task argument, peeled *)
+  loc : Location.t;  (* location of the pool application *)
+}
+
+let task_sites project graph =
+  (* task-forwarding wrappers: def qname -> spec of parameters that flow
+     into a pool call; grown to fixpoint *)
+  let wrappers = ref SMap.empty in
+  let sites = ref [] in
+  let scan ~collect =
+    List.iter
+      (fun (d : Callgraph.def) ->
+        let param_names =
+          List.filteri (fun _ (_, n) -> n <> None) d.params
+          |> List.map (fun (lbl, n) -> (lbl, Option.get n))
+        in
+        Ast_scan.iter_expressions_expr d.body (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, args) -> (
+                let callee_spec =
+                  match Ast_scan.path_of (Ast_scan.peel f) with
+                  | Some comps -> (
+                      match spec_of_callee comps with
+                      | Some spec -> Some spec
+                      | None -> (
+                          match
+                            Project.resolve project
+                              ~current_module:d.module_name comps
+                          with
+                          | Some q -> SMap.find_opt q !wrappers
+                          | None -> None))
+                  | None -> None
+                in
+                match callee_spec with
+                | None -> ()
+                | Some spec ->
+                    List.iter
+                      (fun (task : expression) ->
+                        let task = Ast_scan.peel task in
+                        match Ast_scan.path_of task with
+                        | Some [ n ]
+                          when List.exists (fun (_, p) -> p = n) param_names
+                          ->
+                            (* the task is one of this definition's own
+                               parameters: mark the wrapper; the real task
+                               closure lives at the outer caller *)
+                            let positional_index =
+                              let rec go i = function
+                                | [] -> None
+                                | (Asttypes.Nolabel, p) :: rest ->
+                                    if p = n then Some (Positional [ i ])
+                                    else go (i + 1) rest
+                                | (Asttypes.Labelled l, p) :: rest ->
+                                    if p = n then Some (Labelled [ l ])
+                                    else go i rest
+                                | _ :: rest -> go i rest
+                              in
+                              go 0 param_names
+                            in
+                            Option.iter
+                              (fun spec_new ->
+                                let merged =
+                                  match
+                                    ( SMap.find_opt d.qname !wrappers,
+                                      spec_new )
+                                  with
+                                  | Some (Positional a), Positional b ->
+                                      Positional
+                                        (List.sort_uniq compare (a @ b))
+                                  | Some (Labelled a), Labelled b ->
+                                      Labelled
+                                        (List.sort_uniq compare (a @ b))
+                                  | Some old, _ -> old
+                                  | None, s -> s
+                                in
+                                wrappers := SMap.add d.qname merged !wrappers)
+                              positional_index
+                        | _ when collect ->
+                            sites :=
+                              { def = d; task; loc = e.pexp_loc } :: !sites
+                        | _ -> ())
+                      (task_args_of spec args))
+            | _ -> ()))
+      (Callgraph.defs graph)
+  in
+  (* rounds 1..k: discover wrappers to fixpoint (bounded); final round:
+     collect sites with the complete wrapper map *)
+  let rec fixpoint i prev =
+    scan ~collect:false;
+    let now = SMap.cardinal !wrappers in
+    if now <> prev && i < 10 then fixpoint (i + 1) now
+  in
+  fixpoint 0 (-1);
+  scan ~collect:true;
+  List.rev !sites
+
+(* ------------------------------------------------------------------ *)
+(* Free-write analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type write = { subject : string; form : string; loc : Location.t }
+
+(* Write forms: (callee path suffix, positional index of the mutated
+   subject among the Nolabel args). A single-name form matches only bare
+   or Stdlib-qualified uses, so e.g. [Metric.incr] (which takes a metric
+   NAME, not a ref) never matches the [incr] entry. *)
+let write_forms =
+  [
+    ([ ":=" ], 0);
+    ([ "incr" ], 0);
+    ([ "decr" ], 0);
+    ([ "Array"; "set" ], 0);
+    ([ "Array"; "unsafe_set" ], 0);
+    ([ "Array"; "fill" ], 0);
+    ([ "Array"; "blit" ], 2);
+    ([ "Array"; "sort" ], 1);
+    ([ "Array"; "stable_sort" ], 1);
+    ([ "Array"; "fast_sort" ], 1);
+    ([ "Bytes"; "set" ], 0);
+    ([ "Bytes"; "unsafe_set" ], 0);
+    ([ "Bytes"; "fill" ], 0);
+    ([ "Bytes"; "blit" ], 2);
+    ([ "Hashtbl"; "replace" ], 0);
+    ([ "Hashtbl"; "add" ], 0);
+    ([ "Hashtbl"; "remove" ], 0);
+    ([ "Hashtbl"; "reset" ], 0);
+    ([ "Hashtbl"; "clear" ], 0);
+    ([ "Hashtbl"; "filter_map_inplace" ], 1);
+    ([ "Buffer"; "add_char" ], 0);
+    ([ "Buffer"; "add_string" ], 0);
+    ([ "Buffer"; "add_bytes" ], 0);
+    ([ "Buffer"; "add_substring" ], 0);
+    ([ "Buffer"; "add_buffer" ], 0);
+    ([ "Buffer"; "clear" ], 0);
+    ([ "Buffer"; "reset" ], 0);
+    ([ "Buffer"; "truncate" ], 0);
+    ([ "Queue"; "push" ], 1);
+    ([ "Queue"; "add" ], 1);
+    ([ "Queue"; "pop" ], 0);
+    ([ "Queue"; "take" ], 0);
+    ([ "Queue"; "clear" ], 0);
+    ([ "Stack"; "push" ], 1);
+    ([ "Stack"; "pop" ], 0);
+    ([ "Stack"; "clear" ], 0);
+  ]
+
+let write_form comps =
+  let matches suffix =
+    match suffix with
+    | [ op ] -> comps = [ op ] || comps = [ "Stdlib"; op ]
+    | _ ->
+        Ast_scan.suffix_matches comps ~suffix
+        && List.length comps <= List.length suffix + 1
+  in
+  Option.map
+    (fun (suffix, idx) -> (Ast_scan.path_str suffix, idx))
+    (List.find_opt (fun (suffix, _) -> matches suffix) write_forms)
+
+(* the variable at the base of a write subject: peel record fields,
+   dereferences and array indexing down to a simple name. Qualified
+   (module-level) subjects give [None]: shared toplevel state is P001's
+   domain, capture analysis is about lexically captured locals. *)
+let rec base_ident (e : expression) =
+  let e = Ast_scan.peel e in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with [ n ] -> Some n | _ -> None)
+  | Pexp_field (r, _) -> base_ident r
+  | Pexp_apply (f, args) -> (
+      match Ast_scan.path_of (Ast_scan.peel f) with
+      | Some comps
+        when comps = [ "!" ]
+             || Ast_scan.suffix_matches comps ~suffix:[ "Array"; "get" ]
+             || Ast_scan.suffix_matches comps
+                  ~suffix:[ "Array"; "unsafe_get" ]
+             || Ast_scan.suffix_matches comps ~suffix:[ "Bytes"; "get" ] -> (
+          match
+            List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args
+          with
+          | Some (_, a) -> base_ident a
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+(* visit the immediate sub-expressions of [e] (one level down) *)
+let iter_immediate_subexprs (e : expression) f =
+  let at_root = ref true in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e' ->
+          if !at_root then begin
+            at_root := false;
+            Ast_iterator.default_iterator.expr self e'
+          end
+          else f e');
+    }
+  in
+  it.expr it e
+
+let free_writes ?(bound = []) (root : expression) =
+  let acc = ref [] in
+  let add_pat b p =
+    List.fold_left (fun b n -> SSet.add n b) b (Ast_scan.pat_vars p)
+  in
+  let note bound ~form ~loc subj =
+    match base_ident subj with
+    | Some n when not (SSet.mem n bound) ->
+        acc := { subject = n; form; loc } :: !acc
+    | _ -> ()
+  in
+  let rec go bound (e : expression) =
+    match e.pexp_desc with
+    | Pexp_let (rf, vbs, body) ->
+        let bound' =
+          List.fold_left (fun b vb -> add_pat b vb.pvb_pat) bound vbs
+        in
+        let rhs_bound =
+          if rf = Asttypes.Recursive then bound' else bound
+        in
+        List.iter (fun vb -> go rhs_bound vb.pvb_expr) vbs;
+        go bound' body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (go bound) default;
+        go (add_pat bound pat) body
+    | Pexp_function cases -> List.iter (case bound) cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go bound scrut;
+        List.iter (case bound) cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+        go bound lo;
+        go bound hi;
+        go (add_pat bound pat) body
+    | Pexp_letop { let_; ands; body } ->
+        go bound let_.pbop_exp;
+        List.iter (fun a -> go bound a.pbop_exp) ands;
+        let bound' =
+          List.fold_left
+            (fun b (op : binding_op) -> add_pat b op.pbop_pat)
+            bound (let_ :: ands)
+        in
+        go bound' body
+    | Pexp_setfield (r, _, v) ->
+        note bound ~form:"field <-" ~loc:e.pexp_loc r;
+        go bound r;
+        go bound v
+    | Pexp_apply (f, args) ->
+        (match Ast_scan.path_of (Ast_scan.peel f) with
+        | Some comps -> (
+            match write_form comps with
+            | Some (form, idx) -> (
+                let positional =
+                  List.filter_map
+                    (function Asttypes.Nolabel, a -> Some a | _ -> None)
+                    args
+                in
+                match List.nth_opt positional idx with
+                | Some subj -> note bound ~form ~loc:e.pexp_loc subj
+                | None -> ())
+            | None -> ())
+        | None -> ());
+        go bound f;
+        List.iter (fun (_, a) -> go bound a) args
+    | _ -> iter_immediate_subexprs e (go bound)
+  and case bound (c : case) =
+    let b = add_pat bound c.pc_lhs in
+    Option.iter (go b) c.pc_guard;
+    go b c.pc_rhs
+  in
+  go (List.fold_left (fun b n -> SSet.add n b) SSet.empty bound) root;
+  List.rev !acc

@@ -1,0 +1,59 @@
+(** Closure-capture layer shared by the parallel-safety rules: finds every
+    task expression handed to a [Parallel.Pool] entrypoint (through
+    task-forwarding wrappers, by fixpoint) and computes the writes a
+    closure performs on variables it does not bind itself. Purely
+    syntactic: mutability is proven by the write form ([:=],
+    [Array.set], a record-field assignment, ...), never by types.
+    [Atomic] operations are deliberately not write forms — atomics are
+    the sanctioned cross-domain channel (P003 polices their misuse). *)
+
+(** How a pool entrypoint consumes task functions: positional index among
+    the [Nolabel] arguments, or labelled arguments. *)
+type task_spec = Positional of int list | Labelled of string list
+
+(** Entry points whose function arguments run on other domains:
+    [Pool.map]/[mapi]/[map_list]/[map_reduce], [Pool.Team.run],
+    [Domain.spawn]. *)
+val pool_entrypoints : (string list * task_spec) list
+
+val spec_of_callee : string list -> task_spec option
+val task_args_of :
+  task_spec ->
+  (Asttypes.arg_label * Parsetree.expression) list ->
+  Parsetree.expression list
+
+(** Local [let]-bound names inside a definition body with their
+    right-hand sides, so a task passed by local name can be chased. *)
+val local_bindings :
+  Parsetree.expression -> Parsetree.expression Map.Make(String).t
+
+(** Resolve every identifier mentioned by an expression into call-graph
+    seeds, expanding through the enclosing definition's [locals]. *)
+val seeds_of_expr :
+  Project.t ->
+  module_name:string ->
+  locals:Parsetree.expression Map.Make(String).t ->
+  Parsetree.expression ->
+  string list
+
+(** A task expression flowing into a pool entrypoint. Wrapper-parameter
+    forwards ([let par_run f = Pool.map pool f data]) are not sites —
+    the site is at the outer caller that supplies the closure. *)
+type site = {
+  def : Callgraph.def;  (** definition whose body contains the call *)
+  task : Parsetree.expression;  (** the task argument, peeled *)
+  loc : Location.t;  (** location of the pool application *)
+}
+
+(** All task sites in the project, in deterministic (definition, source
+    position) order. *)
+val task_sites : Project.t -> Callgraph.t -> site list
+
+(** One write to a variable the expression did not bind: the base
+    variable name, the write form that proved mutability, and where. *)
+type write = { subject : string; form : string; loc : Location.t }
+
+(** [free_writes ~bound e] walks [e] tracking the lexical environment
+    ([bound] seeds it) and returns every write whose base variable is
+    free in [e] — i.e. captured from an enclosing scope. *)
+val free_writes : ?bound:string list -> Parsetree.expression -> write list

@@ -46,8 +46,8 @@ let read_file path =
   close_in ic;
   content
 
-let load_tree ~root ~dirs =
-  let sources = ref [] in
+let load_tree ?(pool = Parallel.Pool.sequential) ~root ~dirs () =
+  let files = ref [] in
   let libraries = ref [] in
   let rec walk rel =
     let abs = Filename.concat root rel in
@@ -62,7 +62,7 @@ let load_tree ~root ~dirs =
             let abs' = Filename.concat root rel' in
             if Sys.is_directory abs' then walk rel'
             else if Filename.check_suffix name ".ml" then
-              sources := Source.load ~file:abs' ~path:rel' () :: !sources
+              files := (rel', abs') :: !files
             else if name = "dune" then
               match dune_library_name (read_file abs') with
               | Some lib -> libraries := (rel, lib) :: !libraries
@@ -72,14 +72,31 @@ let load_tree ~root ~dirs =
     end
   in
   List.iter walk dirs;
-  (List.rev !sources, List.rev !libraries)
+  (* file reads and the comment-marker prescan fan out over the pool;
+     PARSING stays on this domain because the compiler-libs lexer keeps
+     global state (its string buffer, docstring registry) and is not
+     domain-safe. Pool maps return in task-index order, so the source
+     list is identical at every --jobs value. *)
+  let read =
+    Parallel.Pool.map_list pool
+      (fun (rel, abs) ->
+        let content = read_file abs in
+        (rel, content, Source.prescan content))
+      (List.rev !files)
+  in
+  let sources =
+    List.map
+      (fun (rel, content, pre) -> Source.of_string ~prescan:pre ~path:rel content)
+      read
+  in
+  (sources, List.rev !libraries)
 
 (* ------------------------------------------------------------------ *)
 (* Analysis                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze ?(rules = Rules.all) ?(libraries = []) ?(baseline = Baseline.empty)
-    sources =
+let analyze ?(pool = Parallel.Pool.sequential) ?(rules = Rules.all)
+    ?(libraries = []) ?(baseline = Baseline.empty) sources =
   let parsed =
     List.filter_map
       (fun (s : Source.t) ->
@@ -99,9 +116,26 @@ let analyze ?(rules = Rules.all) ?(libraries = []) ?(baseline = Baseline.empty)
           s.parse_error)
       sources
   in
+  let per_source_rules, global_rules =
+    List.partition (fun (r : Rule.t) -> r.scope = Rule.Per_source) rules
+  in
+  (* a Per_source rule's findings for a file depend only on that file's
+     (immutable) AST plus the shared read-only project/graph, so the
+     checks fan out one task per source; Global rules (call-graph chases,
+     wrapper fixpoints) run here. Pool maps join in task-index order and
+     the final sort below is total, so the report is byte-identical at
+     every --jobs value. *)
+  let per_source_findings =
+    Parallel.Pool.map_list pool
+      (fun (src, str) ->
+        let sub = { Rule.sources = [ (src, str) ]; project; graph } in
+        List.concat_map (fun (r : Rule.t) -> r.check sub) per_source_rules)
+      parsed
+  in
   let raw =
     parse_failures
-    @ List.concat_map (fun (r : Rule.t) -> r.check ctx) rules
+    @ List.concat per_source_findings
+    @ List.concat_map (fun (r : Rule.t) -> r.check ctx) global_rules
   in
   let by_path =
     List.fold_left
@@ -186,10 +220,18 @@ let to_json report =
           fi)
       report.results
   in
+  let severities =
+    List.map
+      (fun (r : Rule.t) ->
+        Printf.sprintf "%S: %S" r.id (Finding.severity_name r.severity))
+      Rules.all
+  in
   String.concat "\n"
     [
       "{";
-      "  \"version\": 1,";
+      "  \"version\": 2,";
+      Printf.sprintf "  \"severities\": {%s},"
+        (String.concat ", " severities);
       Printf.sprintf "  \"files_scanned\": %d," report.files_scanned;
       Printf.sprintf "  \"new\": %d," f;
       Printf.sprintf "  \"suppressed\": %d," s;

@@ -13,14 +13,25 @@ type report = {
     dune library names. Returns sources (paths relative to [root], sorted)
     and the (dir -> library-name) map read from dune files. Directories
     that do not exist are skipped; directory entries starting with ['.']
-    or ['_'] are pruned. *)
+    or ['_'] are pruned. File reads and comment prescans fan out over
+    [pool] (default: sequential); parsing stays on the calling domain
+    because the compiler-libs lexer is not domain-safe. The result is
+    identical at every pool size. *)
 val load_tree :
-  root:string -> dirs:string list -> Source.t list * (string * string) list
+  ?pool:Parallel.Pool.t ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  Source.t list * (string * string) list
 
 (** Run [rules] (default: the full set) over the sources. Suppression
     comments and the baseline are applied here; parse failures surface as
-    E000 findings. *)
+    E000 findings. [Per_source] rules fan out over [pool] (default:
+    sequential), one task per source; [Global] rules run on the calling
+    domain. Findings are totally ordered by location, so the report is
+    byte-identical at every pool size. *)
 val analyze :
+  ?pool:Parallel.Pool.t ->
   ?rules:Rule.t list ->
   ?libraries:(string * string) list ->
   ?baseline:Baseline.t ->

@@ -1,6 +1,6 @@
 (* Rule plumbing: the context handed to every rule and the rule record.
-   Rules see the whole project at once so cross-module rules (P001) and
-   per-file rules share one interface. *)
+   Rules see the whole project at once so cross-module rules (P001, P002,
+   A001) and per-file rules share one interface. *)
 
 type ctx = {
   sources : (Source.t * Parsetree.structure) list;
@@ -8,11 +8,19 @@ type ctx = {
   graph : Callgraph.t;
 }
 
+(* A [Per_source] rule's findings for a file depend only on that file's
+   AST, so the engine may fan the checks out across the domain pool (one
+   sub-context per source). [Global] rules need the whole project at once
+   (call graph, wrapper fixpoints) and always run sequentially. *)
+type scope = Per_source | Global
+
 type t = {
   id : string;
   severity : Finding.severity;
+  scope : scope;
   title : string;
   doc : string;  (* one-paragraph rationale, used by --rules *)
+  fix : string;  (* how to remediate a finding, used by --explain *)
   check : ctx -> Finding.t list;
 }
 

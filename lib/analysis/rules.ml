@@ -6,6 +6,9 @@ let all : Rule.t list =
     Rules_determinism.d002;
     Rules_determinism.d003;
     Rules_parallel.p001;
+    Rules_races.p002;
+    Rules_races.p003;
+    Rules_alloc.a001;
     Rules_hygiene.h001;
     Rules_hygiene.s001;
   ]

@@ -38,12 +38,18 @@ let d001 =
   {
     Rule.id = "D001";
     severity = Finding.Error;
+    scope = Rule.Per_source;
     title = "global PRNG use";
     doc =
       "The global Random state is shared, hidden input: any draw from it \
        makes output depend on call order (and under the domain pool, on the \
        scheduler). All randomness must flow from explicit Random.State \
        values seeded from task identity.";
+    fix =
+      "Thread a Random.State.t from the experiment configuration down to \
+       the draw site; for pooled tasks derive an independent stream with \
+       Parallel.Pool.derive_seed base task_id and make a fresh state per \
+       task.";
     check = d001_check;
   }
 
@@ -231,6 +237,7 @@ let d002 =
   {
     Rule.id = "D002";
     severity = Finding.Error;
+    scope = Rule.Per_source;
     title = "unordered-iteration escape";
     doc =
       "Hashtbl iteration order is a function of hashing internals, not of \
@@ -238,6 +245,10 @@ let d002 =
        a sort makes output depend on it; so does a counter or PRNG stream \
        advanced once per entry. Iterate sorted keys, or sort the result \
        before it escapes.";
+    fix =
+      "Pipe the escaping value through List.sort / List.sort_uniq before \
+       it leaves the fold, or replace the iteration with a walk over \
+       sorted keys (Hashtbl.fold into a list, sort, then process).";
     check = d002_check;
   }
 
@@ -293,11 +304,17 @@ let d003 =
   {
     Rule.id = "D003";
     severity = Finding.Error;
+    scope = Rule.Per_source;
     title = "wall clock in result path";
     doc =
       "Unix.gettimeofday / Sys.time readings folded into results destroy \
        reproducibility. The only sanctioned site is Obs.Clock \
        (lib/obs/clock.ml), the observability subsystem's clock module; \
        everything else must take timestamps from it.";
+    fix =
+      "Replace the raw primitive with Obs.Clock.now () (or a duration \
+       taken through Obs.Clock) and keep the reading out of \
+       theorem-level outputs; timing belongs in the observability \
+       report, not in results.";
     check = d003_check;
   }

@@ -44,12 +44,18 @@ let h001 =
   {
     Rule.id = "H001";
     severity = Finding.Warning;
+    scope = Rule.Per_source;
     title = "float equality";
     doc =
       "Exact =/<>/compare on floats is almost always a rounding bug waiting \
        for a different optimization level or evaluation order. Equality \
        against exact sentinels (0., 1., infinity) is legitimate but must be \
        visible: suppress the finding or grandfather it in the baseline.";
+    fix =
+      "Compare with an explicit tolerance (Float.abs (a -. b) <= eps) \
+       chosen from the quantity's scale, or Float.compare for orderings; \
+       exact-sentinel comparisons keep the operator but carry a lint \
+       allow comment naming the sentinel.";
     check = h001_check;
   }
 
@@ -97,6 +103,7 @@ let s001 =
   {
     Rule.id = "S001";
     severity = Finding.Warning;
+    scope = Rule.Per_source;
     title = "Obj.* / assert false in library code";
     doc =
       "Library entry points are exercised with adversarial inputs by the \
@@ -104,5 +111,10 @@ let s001 =
        false) and representation tricks (Obj.*) turn bad inputs into \
        undiagnosable failures. Reachable branches must raise a described \
        error; genuinely unreachable ones carry an allow comment saying why.";
+    fix =
+      "Raise invalid_arg / failwith with a message naming the offending \
+       input instead of assert false; delete the Obj.* use or move the \
+       trick behind a described, allow-commented boundary if it is truly \
+       unavoidable.";
     check = s001_check;
   }

@@ -1,90 +1,12 @@
 (* P001: domain-unsafety. A function handed to the Parallel.Pool fan-out
    runs concurrently on several domains; if its call graph reaches
    toplevel mutable state (a ref, Hashtbl, Buffer, ... bound at module
-   level) the tasks race on it. The check walks from every task argument
-   of Pool.map / mapi / map_list / map_reduce — including through project
-   wrappers whose parameter is forwarded into a pool call, discovered by
-   fixpoint — and reports any reachable toplevel mutable binding. *)
+   level) the tasks race on it. Task sites — including through project
+   wrappers whose parameter is forwarded into a pool call — come from the
+   shared Capture layer; this rule chases each task's call graph across
+   modules and reports any reachable toplevel mutable binding. *)
 
-open Parsetree
-module SMap = Map.Make (String)
 module SSet = Set.Make (String)
-
-(* how a callee consumes task functions: positional index among Nolabel
-   args, or labelled arguments *)
-type task_spec = Positional of int list | Labelled of string list
-
-let pool_entrypoints =
-  [
-    ([ "Pool"; "map" ], Positional [ 1 ]);
-    ([ "Pool"; "mapi" ], Positional [ 1 ]);
-    ([ "Pool"; "map_list" ], Positional [ 1 ]);
-    ([ "Pool"; "map_reduce" ], Labelled [ "map"; "reduce" ]);
-  ]
-
-let spec_of_callee comps =
-  match
-    List.find_opt
-      (fun (suffix, _) -> Ast_scan.suffix_matches comps ~suffix)
-      pool_entrypoints
-  with
-  | Some (_, spec) -> Some spec
-  | None -> None
-
-(* positional args = Nolabel args in order *)
-let task_args_of spec args =
-  match spec with
-  | Positional wanted ->
-      let positional =
-        List.filter_map
-          (function Asttypes.Nolabel, e -> Some e | _ -> None)
-          args
-      in
-      List.filteri (fun i _ -> List.mem i wanted) positional
-  | Labelled names ->
-      List.filter_map
-        (function
-          | Asttypes.Labelled l, e when List.mem l names -> Some e
-          | _ -> None)
-        args
-
-(* local let-bound names inside a toplevel definition body, with their
-   right-hand sides, so a task passed by (local) name can be chased *)
-let local_bindings body =
-  let acc = ref SMap.empty in
-  Ast_scan.iter_expressions_expr body (fun e ->
-      match e.pexp_desc with
-      | Pexp_let (_, vbs, _) ->
-          List.iter
-            (fun vb ->
-              match Ast_scan.pat_var vb.pvb_pat with
-              | Some n -> acc := SMap.add n vb.pvb_expr !acc
-              | None -> ())
-            vbs
-      | _ -> ());
-  !acc
-
-(* Resolve every identifier mentioned by [expr] into call-graph seeds,
-   expanding through the enclosing definition's local bindings. *)
-let seeds_of_expr ctx ~module_name ~locals expr =
-  let project = ctx.Rule.project in
-  let seeds = ref SSet.empty in
-  let visited_locals = ref SSet.empty in
-  let rec expand expr =
-    List.iter
-      (fun comps ->
-        (match comps with
-        | [ n ] when SMap.mem n locals && not (SSet.mem n !visited_locals) ->
-            visited_locals := SSet.add n !visited_locals;
-            expand (SMap.find n locals)
-        | _ -> ());
-        match Project.resolve project ~current_module:module_name comps with
-        | Some q -> seeds := SSet.add q !seeds
-        | None -> ())
-      (Ast_scan.collect_paths expr)
-  in
-  expand expr;
-  SSet.elements !seeds
 
 let describe_hits hits =
   String.concat ", "
@@ -99,128 +21,42 @@ let describe_hits hits =
 let check ctx =
   let graph = ctx.Rule.graph in
   let project = ctx.Rule.project in
-  (* task-forwarding wrappers: def qname -> spec of parameters that flow
-     into a pool call; grown to fixpoint *)
-  let wrappers = ref SMap.empty in
   let findings = ref [] in
   let reported = ref SSet.empty in
-  (* one scan pass over every toplevel definition; [record] either emits
-     findings (final round) or only grows the wrapper map *)
-  let scan ~emit =
-    List.iter
-      (fun (d : Callgraph.def) ->
-        let locals = local_bindings d.body in
-        let param_names =
-          List.filteri (fun _ (_, n) -> n <> None) d.params
-          |> List.map (fun (lbl, n) -> (lbl, Option.get n))
+  List.iter
+    (fun (site : Capture.site) ->
+      let locals = Capture.local_bindings site.def.body in
+      let seeds =
+        Capture.seeds_of_expr project ~module_name:site.def.module_name
+          ~locals site.task
+      in
+      let hits = Callgraph.reachable_mutable graph seeds in
+      if hits <> [] then begin
+        let key =
+          Printf.sprintf "%s:%d"
+            site.loc.Location.loc_start.Lexing.pos_fname
+            site.loc.Location.loc_start.Lexing.pos_lnum
         in
-        Ast_scan.iter_expressions_expr d.body (fun e ->
-            match e.pexp_desc with
-            | Pexp_apply (f, args) -> (
-                let callee_spec =
-                  match Ast_scan.path_of (Ast_scan.peel f) with
-                  | Some comps -> (
-                      match spec_of_callee comps with
-                      | Some spec -> Some spec
-                      | None -> (
-                          match
-                            Project.resolve project
-                              ~current_module:d.module_name comps
-                          with
-                          | Some q -> SMap.find_opt q !wrappers
-                          | None -> None))
-                  | None -> None
-                in
-                match callee_spec with
-                | None -> ()
-                | Some spec ->
-                    List.iter
-                      (fun (task : expression) ->
-                        let task = Ast_scan.peel task in
-                        match Ast_scan.path_of task with
-                        | Some [ n ]
-                          when List.exists
-                                 (fun (_, p) -> p = n)
-                                 param_names ->
-                            (* the task is one of this definition's own
-                               parameters: mark the wrapper *)
-                            let positional_index =
-                              let rec go i = function
-                                | [] -> None
-                                | (Asttypes.Nolabel, p) :: rest ->
-                                    if p = n then Some (Positional [ i ])
-                                    else go (i + 1) rest
-                                | (Asttypes.Labelled l, p) :: rest ->
-                                    if p = n then Some (Labelled [ l ])
-                                    else go i rest
-                                | _ :: rest -> go i rest
-                              in
-                              go 0 param_names
-                            in
-                            Option.iter
-                              (fun spec_new ->
-                                let merged =
-                                  match
-                                    (SMap.find_opt d.qname !wrappers, spec_new)
-                                  with
-                                  | Some (Positional a), Positional b ->
-                                      Positional
-                                        (List.sort_uniq compare (a @ b))
-                                  | Some (Labelled a), Labelled b ->
-                                      Labelled (List.sort_uniq compare (a @ b))
-                                  | Some old, _ -> old
-                                  | None, s -> s
-                                in
-                                wrappers := SMap.add d.qname merged !wrappers)
-                              positional_index
-                        | _ when emit ->
-                            let seeds =
-                              seeds_of_expr ctx ~module_name:d.module_name
-                                ~locals task
-                            in
-                            let hits =
-                              Callgraph.reachable_mutable graph seeds
-                            in
-                            if hits <> [] then begin
-                              let key =
-                                Printf.sprintf "%s:%d"
-                                  e.pexp_loc.Location.loc_start.Lexing.pos_fname
-                                  e.pexp_loc.Location.loc_start.Lexing.pos_lnum
-                              in
-                              if not (SSet.mem key !reported) then begin
-                                reported := SSet.add key !reported;
-                                findings :=
-                                  Finding.v ~rule:"P001"
-                                    ~severity:Finding.Error ~loc:e.pexp_loc
-                                    (Printf.sprintf
-                                       "parallel task reaches toplevel \
-                                        mutable state: %s; pooled tasks must \
-                                        be pure — thread state through task \
-                                        inputs or per-task copies"
-                                       (describe_hits hits))
-                                  :: !findings
-                              end
-                            end
-                        | _ -> ())
-                      (task_args_of spec args))
-            | _ -> ()))
-      (Callgraph.defs graph)
-  in
-  (* rounds 1..k: discover wrappers to fixpoint (bounded); final round:
-     emit findings with the complete wrapper map *)
-  let rec fixpoint i prev =
-    scan ~emit:false;
-    let now = SMap.cardinal !wrappers in
-    if now <> prev && i < 10 then fixpoint (i + 1) now
-  in
-  fixpoint 0 (-1);
-  scan ~emit:true;
+        if not (SSet.mem key !reported) then begin
+          reported := SSet.add key !reported;
+          findings :=
+            Finding.v ~rule:"P001" ~severity:Finding.Error ~loc:site.loc
+              (Printf.sprintf
+                 "parallel task reaches toplevel mutable state: %s; pooled \
+                  tasks must be pure — thread state through task inputs or \
+                  per-task copies"
+                 (describe_hits hits))
+            :: !findings
+        end
+      end)
+    (Capture.task_sites project graph);
   List.rev !findings
 
 let p001 =
   {
     Rule.id = "P001";
     severity = Finding.Error;
+    scope = Rule.Global;
     title = "domain-unsafe parallel task";
     doc =
       "Functions fanned out on the Parallel.Pool run on several domains at \
@@ -228,5 +64,11 @@ let p001 =
        dune library map) reaches a toplevel ref/Hashtbl/Buffer/... the \
        tasks race on shared state and the jobs-independence contract \
        breaks. State must arrive through task inputs.";
+    fix =
+      "Move the state into the task's inputs: allocate it inside the task \
+       body, pass a per-task copy, or fold per-task partial results in \
+       the reduce step. If the binding is genuinely immutable after \
+       initialization, restructure it so the linter can see that (plain \
+       let of a computed value, not a mutated container).";
     check;
   }

@@ -1,0 +1,218 @@
+(* P002 cross-domain capture race, P003 atomic read-modify-write misuse.
+
+   P001 catches tasks that reach TOPLEVEL mutable state through the call
+   graph. P002 closes the remaining gap: a task closure that captures a
+   LOCAL mutable value of its enclosing definition (a ref, array, table
+   or record allocated before the fan-out) and writes it. Shard-private
+   state — allocated inside the task body or received as a task argument
+   — is bound inside the closure and therefore never reported; writes
+   through Atomic are not write forms at all. P003 polices the sanctioned
+   channel itself: Atomic.get followed by Atomic.set on the same atomic
+   inside one definition is a lost-update window dressed up as atomic
+   code. *)
+
+open Parsetree
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* P002: captured-state write in a pooled task                          *)
+(* ------------------------------------------------------------------ *)
+
+let p002_check ctx =
+  let project = ctx.Rule.project in
+  let graph = ctx.Rule.graph in
+  let findings = ref [] in
+  List.iter
+    (fun (site : Capture.site) ->
+      let locals = Capture.local_bindings site.def.body in
+      let def_scope =
+        let params =
+          List.filter_map (fun (_, n) -> n) site.def.params
+        in
+        List.fold_left
+          (fun s n -> SSet.add n s)
+          (SMap.fold (fun n _ s -> SSet.add n s) locals SSet.empty)
+          params
+      in
+      (* writes performed by the task and by every local helper it can
+         reach; helper-local writes to their own parameters are bound
+         inside the helper, so only writes that stay free — i.e. resolve
+         lexically in the enclosing definition — survive *)
+      let visited = ref SSet.empty in
+      let writes = ref [] in
+      let rec analyze expr =
+        writes := !writes @ Capture.free_writes expr;
+        List.iter
+          (fun comps ->
+            match comps with
+            | [ n ] when SMap.mem n locals && not (SSet.mem n !visited) ->
+                visited := SSet.add n !visited;
+                analyze (SMap.find n locals)
+            | _ -> ())
+          (Ast_scan.collect_paths expr)
+      in
+      (match Ast_scan.path_of site.task with
+      | Some [ n ] when SMap.mem n locals ->
+          visited := SSet.add n !visited;
+          analyze (SMap.find n locals)
+      | Some _ -> () (* qualified/toplevel task: P001's territory *)
+      | None -> analyze site.task);
+      (* one subject, one entry: first write wins; only state that lives
+         in the enclosing definition counts (module-level state is P001's) *)
+      let by_subject =
+        List.fold_left
+          (fun acc (w : Capture.write) ->
+            if SSet.mem w.subject def_scope && not (SMap.mem w.subject acc)
+            then SMap.add w.subject w acc
+            else acc)
+          SMap.empty !writes
+      in
+      if not (SMap.is_empty by_subject) then begin
+        let described =
+          SMap.bindings by_subject
+          |> List.map (fun (n, (w : Capture.write)) ->
+                 Printf.sprintf "%s (%s at line %d)" n w.form
+                   w.loc.Location.loc_start.Lexing.pos_lnum)
+          |> String.concat ", "
+        in
+        findings :=
+          Finding.v ~rule:"P002" ~severity:Finding.Error ~loc:site.loc
+            (Printf.sprintf
+               "pooled task writes state captured from its enclosing \
+                definition: %s; tasks race on it across domains — make the \
+                state shard-private (allocate it in the task, or pass each \
+                task its own slice) or go through Atomic"
+               described)
+          :: !findings
+      end)
+    (Capture.task_sites project graph);
+  List.rev !findings
+
+let p002 =
+  {
+    Rule.id = "P002";
+    severity = Finding.Error;
+    scope = Rule.Global;
+    title = "cross-domain write to captured state";
+    doc =
+      "A closure fanned out on the Parallel.Pool (map / mapi / map_list / \
+       map_reduce / Team.run / Domain.spawn) runs on several domains at \
+       once. If it mutates a ref, array, Hashtbl, Buffer or mutable record \
+       field captured from the enclosing definition, the tasks race: the \
+       write form proves the mutation, the capture proves the sharing. \
+       State allocated inside the task body or passed per task is private \
+       and never flagged; Atomic operations are the sanctioned channel.";
+    fix =
+      "Partition the state: allocate it inside the task body, hand each \
+       task its own slice or accumulator and merge after the join, or \
+       switch the shared cell to Atomic with fetch_and_add / \
+       compare_and_set. A deliberate single-writer discipline (each task \
+       writes only indices it owns) is fine but must carry an allow \
+       comment naming the discipline.";
+    check = p002_check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* P003: Atomic.get-then-set read-modify-write                          *)
+(* ------------------------------------------------------------------ *)
+
+(* textual subject of an atomic operand: identifier path or field chain *)
+let rec atomic_subject (e : expression) =
+  match (Ast_scan.peel e).pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (String.concat "." (Longident.flatten txt))
+  | Pexp_field (r, { txt; _ }) -> (
+      let field =
+        match Longident.flatten txt with
+        | [] -> None
+        | comps -> Some (List.nth comps (List.length comps - 1))
+      in
+      match (atomic_subject r, field) with
+      | Some base, Some f -> Some (base ^ "." ^ f)
+      | _ -> None)
+  | _ -> None
+
+let atomic_op comps =
+  match comps with
+  | [ "Atomic"; op ] | [ "Stdlib"; "Atomic"; op ] -> Some op
+  | _ -> None
+
+(* gets and sets on atomics inside one definition body *)
+let atomic_uses body =
+  let gets = ref SSet.empty in
+  let sets = ref [] in
+  Ast_scan.iter_expressions_expr body (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, (Asttypes.Nolabel, target) :: _) -> (
+          match
+            Option.bind (Ast_scan.path_of (Ast_scan.peel f)) atomic_op
+          with
+          | Some "get" ->
+              Option.iter
+                (fun s -> gets := SSet.add s !gets)
+                (atomic_subject target)
+          | Some "set" ->
+              Option.iter
+                (fun s -> sets := (s, e.pexp_loc) :: !sets)
+                (atomic_subject target)
+          | _ -> ())
+      | _ -> ());
+  (!gets, List.rev !sets)
+
+let p003_check ctx =
+  Rule.per_source ctx (fun _src str ->
+      let acc = ref [] in
+      (* one definition = one value binding; get+set on the same atomic
+         in separate definitions (an [enable] / [is_enabled] pair) is the
+         normal publish/observe pattern and stays silent *)
+      let check_vb (vb : value_binding) =
+        let gets, sets = atomic_uses vb.pvb_expr in
+        let seen = ref SSet.empty in
+        List.iter
+          (fun (s, loc) ->
+            if SSet.mem s gets && not (SSet.mem s !seen) then begin
+              seen := SSet.add s !seen;
+              acc :=
+                Finding.v ~rule:"P003" ~severity:Finding.Error ~loc
+                  (Printf.sprintf
+                     "Atomic.get followed by Atomic.set on '%s' is a \
+                      read-modify-write with a lost-update window; use \
+                      Atomic.fetch_and_add, Atomic.compare_and_set or \
+                      Atomic.exchange"
+                     s)
+                :: !acc
+            end)
+          sets
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          value_binding =
+            (fun self vb ->
+              check_vb vb;
+              Ast_iterator.default_iterator.value_binding self vb);
+        }
+      in
+      it.structure it str;
+      List.rev !acc)
+
+let p003 =
+  {
+    Rule.id = "P003";
+    severity = Finding.Error;
+    scope = Rule.Per_source;
+    title = "atomic read-modify-write via get/set";
+    doc =
+      "Atomic.set (Atomic.get a + 1)-style updates are not atomic: another \
+       domain can update between the read and the write and its update is \
+       silently lost. The atomics API has single-instruction forms for \
+       every read-modify-write this repo needs; get-then-set on the same \
+       atomic inside one definition is therefore always a bug or a \
+       misleading way to write a plain publish.";
+    fix =
+      "Counters: Atomic.fetch_and_add (or Atomic.incr). \
+       Compare-and-update loops: retry with Atomic.compare_and_set on the \
+       value read. Swaps: Atomic.exchange. A plain publish that does not \
+       depend on the value read should not read at all — drop the get.";
+    check = p003_check;
+  }

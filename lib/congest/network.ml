@@ -37,8 +37,10 @@ type schedule = Every_round | Event_driven
    column stores the (negated, 1-based) spill index. *)
 type 'msg codec = { pack : 'msg -> int; unpack : int -> 'msg }
 
+(* lint: hot *)
 let int_codec = { pack = (fun (m : int) -> m); unpack = (fun w -> w) }
 
+(* lint: hot *)
 let boxed_codec () =
   {
     pack = (fun _ -> -1);
@@ -250,6 +252,7 @@ let run_reference ?(faults = Faults.none) g ~bandwidth ~msg_bits ~init ~round
 
 (* in-place ascending quicksort of a.(0 .. len-1); entries are distinct
    vertex ids, so partitioning details cannot affect the result *)
+(* lint: hot *)
 let sort_prefix a len =
   let swap i j =
     let t = a.(i) in
@@ -298,6 +301,7 @@ let sort_prefix a len =
 (* sends are normally listed in ascending neighbor order, so a moving
    cursor over the sorted row validates them in O(1) amortized; an
    out-of-order send falls back to binary search *)
+(* lint: hot *)
 let check_neighbor row cursor v w =
   let len = Array.length row in
   let c = !cursor in
@@ -349,16 +353,19 @@ let run_single ~faults ~schedule g ~bandwidth ~msg_bits ~init ~round
      report the high-watermark and the residual footprint at run end *)
   let inbox_words = ref 0 in
   let inbox_peak = ref 0 in
+  (* lint: hot *)
   let push_inbox w src msg =
     let len = in_len.(w) in
     let cap = Array.length in_src.(w) in
     if len = cap then begin
       let cap' = if cap = 0 then 4 else 2 * cap in
+      (* lint: allow A001 amortized doubling growth *)
       let src' = Array.make cap' 0 in
       Array.blit in_src.(w) 0 src' 0 len;
       in_src.(w) <- src';
       (* the arriving message doubles as the fill element, so growing never
          needs a dummy 'msg value *)
+      (* lint: allow A001 amortized doubling growth *)
       let msg' = Array.make cap' msg in
       Array.blit in_msg.(w) 0 msg' 0 len;
       in_msg.(w) <- msg';
@@ -433,8 +440,10 @@ let run_single ~faults ~schedule g ~bandwidth ~msg_bits ~init ~round
   let wake_buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
   let heap = ref (Array.make 16 0) in
   let heap_len = ref 0 in
+  (* lint: hot *)
   let heap_push x =
     if !heap_len = Array.length !heap then begin
+      (* lint: allow A001 amortized doubling growth *)
       let h = Array.make (2 * !heap_len) 0 in
       Array.blit !heap 0 h 0 !heap_len;
       heap := h
@@ -451,7 +460,9 @@ let run_single ~faults ~schedule g ~bandwidth ~msg_bits ~init ~round
       i := p
     done
   in
+  (* lint: hot *)
   let heap_min () = if !heap_len = 0 then max_int else (!heap).(0) in
+  (* lint: hot *)
   let heap_pop () =
     let a = !heap in
     decr heap_len;
@@ -480,6 +491,7 @@ let run_single ~faults ~schedule g ~bandwidth ~msg_bits ~init ~round
         Hashtbl.add wake_buckets t (ref [ v ]);
         heap_push t
   in
+  (* lint: hot *)
   let push_cur r v =
     if sched.(v) <> r then begin
       sched.(v) <- r;
@@ -487,6 +499,7 @@ let run_single ~faults ~schedule g ~bandwidth ~msg_bits ~init ~round
       incr cur_len
     end
   in
+  (* lint: hot *)
   let push_nxt r1 v =
     if sched.(v) <> r1 then begin
       sched.(v) <- r1;
@@ -753,8 +766,10 @@ type 'msg shard = {
   mutable sh_peak_words : int;
 }
 
+(* lint: hot *)
 let sh_heap_push sh x =
   if sh.sh_heap_len = Array.length sh.sh_heap then begin
+    (* lint: allow A001 amortized doubling growth *)
     let h = Array.make (2 * sh.sh_heap_len) 0 in
     Array.blit sh.sh_heap 0 h 0 sh.sh_heap_len;
     sh.sh_heap <- h
@@ -771,8 +786,10 @@ let sh_heap_push sh x =
     i := p
   done
 
+(* lint: hot *)
 let sh_heap_min sh = if sh.sh_heap_len = 0 then max_int else sh.sh_heap.(0)
 
+(* lint: hot *)
 let sh_heap_pop sh =
   let a = sh.sh_heap in
   sh.sh_heap_len <- sh.sh_heap_len - 1;
@@ -887,6 +904,7 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
   let edge_bits = Array.make n 0 in
   let touched = Array.make n 0 in
   let touched_len = ref 0 in
+  (* lint: hot *)
   let push_cur sh r v =
     if sched.(v) <> r then begin
       sched.(v) <- r;
@@ -894,6 +912,7 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
       sh.sh_cur_len <- sh.sh_cur_len + 1
     end
   in
+  (* lint: hot *)
   let push_nxt sh r1 v =
     if sched.(v) <> r1 then begin
       sched.(v) <- r1;
@@ -910,12 +929,14 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
         sh_heap_push sh t
   in
   (* coordinator side: append one delivery to the destination shard's arena *)
+  (* lint: hot *)
   let push_ib sh src dst pay =
     let k = sh.sh_ib_len in
     if k = Array.length sh.sh_ib_src then begin
       let cap = Array.length sh.sh_ib_src in
       let cap' = if cap = 0 then 64 else 2 * cap in
       let grow a =
+        (* lint: allow A001 amortized doubling growth *)
         let a' = Array.make cap' 0 in
         Array.blit a 0 a' 0 k;
         a'
@@ -931,12 +952,14 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
     sh.sh_ib_pay.(k) <- pay;
     sh.sh_ib_len <- k + 1
   in
+  (* lint: hot *)
   let spill_wide sh msg =
     let k = sh.sh_ib_wide_len in
     if k = Array.length sh.sh_ib_wide then begin
       let cap = Array.length sh.sh_ib_wide in
       let cap' = if cap = 0 then 16 else 2 * cap in
       (* the arriving message doubles as the fill element *)
+      (* lint: allow A001 amortized doubling growth *)
       let a' = Array.make cap' msg in
       Array.blit sh.sh_ib_wide 0 a' 0 k;
       sh.sh_ib_wide <- a';
@@ -948,12 +971,14 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
     -(k + 1)
   in
   (* shard side: pack one outgoing message *)
+  (* lint: hot *)
   let push_out sh v w msg =
     let k = sh.sh_ob_len in
     if k = Array.length sh.sh_ob_src then begin
       let cap = Array.length sh.sh_ob_src in
       let cap' = if cap = 0 then 64 else 2 * cap in
       let grow a =
+        (* lint: allow A001 amortized doubling growth *)
         let a' = Array.make cap' 0 in
         Array.blit a 0 a' 0 k;
         a'
@@ -974,6 +999,7 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
          if wi = Array.length sh.sh_ob_wide then begin
            let cap = Array.length sh.sh_ob_wide in
            let cap' = if cap = 0 then 16 else 2 * cap in
+           (* lint: allow A001 amortized doubling growth *)
            let a' = Array.make cap' msg in
            Array.blit sh.sh_ob_wide 0 a' 0 wi;
            sh.sh_ob_wide <- a'
@@ -1080,6 +1106,7 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
   (* the sequential cross-shard exchange: shard order x in-shard step order
      is global sender-ascending order, each sender's sends in list order —
      the draw order the fault RNG pins *)
+  (* lint: hot *)
   let exchange r =
     let prev_sender = ref (-1) in
     for s = 0 to nshards - 1 do
@@ -1187,7 +1214,13 @@ let run_sharded ~faults ~schedule ~shards ~pool ~(codec : 'msg codec) g
         (Hashtbl.find_all crash_at r)
     end;
     crashed_rounds := !crashed_rounds + !crashed_live;
-    (* parallel step phase: one barrier per round *)
+    (* parallel step phase: one barrier per round. The task closure
+       captures mutable per-vertex arrays (states, halted, inlists,
+       wake_at, sched) without atomics; that is safe by construction —
+       each shard steps only vertices in its own contiguous [lo, hi)
+       range, and all cross-shard writes happen in [exchange], which the
+       coordinator runs sequentially between barriers. *)
+    (* lint: allow P002 shard-owned vertex ranges; cross-shard writes are sequential in exchange *)
     Parallel.Pool.Team.run team (fun s -> step_shard r shard_tbl.(s));
     for s = 0 to nshards - 1 do
       let sh = shard_tbl.(s) in

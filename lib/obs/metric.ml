@@ -2,10 +2,13 @@
    Only integers: float sums would make merged values depend on merge
    order and break the cross-jobs parity contract. *)
 
+(* lint: hot *)
 let count name v = Rt.add_sum name v
 
+(* lint: hot *)
 let incr name = Rt.add_sum name 1
 
+(* lint: hot *)
 let set_max name v = Rt.add_max name v
 
 (* power-of-two histogram: one deterministic counter per bucket, so the

@@ -27,5 +27,5 @@ let current_path () =
 let set_ambient path =
   if Rt.is_enabled () then begin
     let st = Rt.state () in
-    st.Rt.d_ambient <- path
+    Rt.set_ambient st path
   end

@@ -58,6 +58,10 @@ let mapi pool f arr =
     in
     let domains =
       Array.init (workers - 1) (fun _ ->
+          (* single-writer discipline: a task writes only results.(i) and
+             errors.(i) for indices i it claimed via Atomic.fetch_and_add,
+             so no two domains ever touch the same slot *)
+          (* lint: allow P002 slot i is written only by the claiming task *)
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
               Obs.Span.set_ambient span_base;
@@ -104,10 +108,15 @@ let derive_seed base salt =
    block partition, so the same task always lands on the same worker —
    no work stealing, no scheduling nondeterminism to reason about. *)
 module Team = struct
+  (* what workers run between generations; a plain function slot (not an
+     option) so arming a generation stores [f] itself — wrapping in [Some]
+     would box a fresh block every round on the barrier hot path *)
+  let no_task (_ : int) = ()
+
   type state = {
     tasks : int;
     workers : int; (* spawned domains + the calling domain *)
-    mutable fn : (int -> unit) option;
+    mutable fn : int -> unit;
     mutable generation : int;
     mutable unfinished : int; (* spawned workers still in the current gen *)
     mutable stopped : bool;
@@ -119,21 +128,22 @@ module Team = struct
 
   type team = { st : state; mutable domains : unit Domain.t array }
 
-  (* worker w's static block of tasks: the caller is worker 0 *)
-  let block st w =
+  (* worker [w]'s static block of tasks: the caller is worker 0. The
+     block bounds are computed inline rather than returned from a helper:
+     this runs once per worker per simulated round and a (lo, hi) tuple
+     return would allocate on every call *)
+  (* lint: hot *)
+  let run_block st w f =
     let per = st.tasks / st.workers and extra = st.tasks mod st.workers in
     let lo = (w * per) + min w extra in
     let hi = lo + per + if w < extra then 1 else 0 in
-    (lo, hi)
-
-  let run_block st w f =
-    let lo, hi = block st w in
     for t = lo to hi - 1 do
       match f t with
       | () -> ()
       | exception e -> st.errors.(t) <- Some e
     done
 
+  (* lint: hot *)
   let worker_loop st w =
     Domain.DLS.set in_worker true;
     let seen = ref 0 in
@@ -146,7 +156,7 @@ module Team = struct
       if st.stopped then continue := false
       else begin
         seen := st.generation;
-        let f = match st.fn with Some f -> f | None -> fun _ -> () in
+        let f = st.fn in
         Mutex.unlock st.mu;
         run_block st w f;
         Mutex.lock st.mu;
@@ -167,7 +177,7 @@ module Team = struct
       {
         tasks;
         workers;
-        fn = None;
+        fn = no_task;
         generation = 0;
         unfinished = 0;
         stopped = false;
@@ -186,18 +196,20 @@ module Team = struct
     in
     { st; domains }
 
+  (* deterministic error choice: lowest-indexed failing task wins, the
+     same contract as [mapi]. A plain loop, not Array.iteri — this sits
+     on the per-round barrier path and must not build a closure *)
+  (* lint: hot *)
   let raise_first st =
-    (* deterministic error choice: lowest-indexed failing task wins, the
-       same contract as [mapi] *)
-    Array.iteri
-      (fun t e ->
-        match e with
-        | Some exn ->
-            st.errors.(t) <- None;
-            raise exn
-        | None -> ())
-      st.errors
+    for t = 0 to Array.length st.errors - 1 do
+      match st.errors.(t) with
+      | Some exn ->
+          st.errors.(t) <- None;
+          raise exn
+      | None -> ()
+    done
 
+  (* lint: hot *)
   let run team f =
     let st = team.st in
     Array.fill st.errors 0 (Array.length st.errors) None;
@@ -214,7 +226,7 @@ module Team = struct
     end
     else begin
       Mutex.lock st.mu;
-      st.fn <- Some f;
+      st.fn <- f;
       st.generation <- st.generation + 1;
       st.unfinished <- st.workers - 1;
       Condition.broadcast st.start;
@@ -227,7 +239,7 @@ module Team = struct
       while st.unfinished > 0 do
         Condition.wait st.finished st.mu
       done;
-      st.fn <- None;
+      st.fn <- no_task;
       Mutex.unlock st.mu;
       raise_first st
     end

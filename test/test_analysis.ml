@@ -288,6 +288,174 @@ let test_p001_lambda_local_negative () =
   check "task-local buffer passes" 0 (count_rule "P001" fs)
 
 (* ------------------------------------------------------------------ *)
+(* P002: non-atomic write under a captured closure                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_p002_captured_ref_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let work team counts =\n\
+          \  let total = ref 0 in\n\
+          \  Parallel.Pool.Team.run team (fun i -> total := !total + counts.(i));\n\
+          \  !total" );
+      ]
+  in
+  check "captured ref written in task flagged" 1 (count_rule "P002" fs);
+  let f = List.find (fun (f : Finding.t) -> f.rule = "P002") fs in
+  checkb "names the captured binding" true
+    (let rec contains i =
+       i + 5 <= String.length f.message
+       && (String.sub f.message i 5 = "total" || contains (i + 1))
+     in
+     contains 0)
+
+let test_p002_task_local_array_negative () =
+  (* the shard-private pattern: all mutation lands on state the task
+     itself binds, so nothing escapes to another domain *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let work team =\n\
+          \  Parallel.Pool.Team.run team (fun i ->\n\
+          \      let scratch = Array.make 8 0 in\n\
+          \      scratch.(i land 7) <- i;\n\
+          \      ignore scratch)" );
+      ]
+  in
+  check "task-local array passes" 0 (count_rule "P002" fs)
+
+let test_p002_atomic_counter_negative () =
+  (* Atomic is the sanctioned cross-domain write; deliberately not in the
+     write-form table *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let work team total =\n\
+          \  Parallel.Pool.Team.run team (fun _i -> Atomic.incr total)" );
+      ]
+  in
+  check "atomic counter passes" 0 (count_rule "P002" fs)
+
+let test_p002_domain_spawn_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let fire results i x =\n\
+          \  Domain.spawn (fun () -> results.(i) <- x)" );
+      ]
+  in
+  check "Domain.spawn task writing captured array flagged" 1
+    (count_rule "P002" fs)
+
+(* ------------------------------------------------------------------ *)
+(* P003: atomic get-then-set instead of a read-modify-write primitive   *)
+(* ------------------------------------------------------------------ *)
+
+let test_p003_get_then_set_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let bump c =\n\
+          \  let v = Atomic.get c in\n\
+          \  Atomic.set c (v + 1)" );
+      ]
+  in
+  check "get-then-set flagged" 1 (count_rule "P003" fs)
+
+let test_p003_fetch_and_add_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let bump c = Atomic.incr c\n\
+           let add c n = ignore (Atomic.fetch_and_add c n)\n\
+           let swap c v = ignore (Atomic.exchange c v)" );
+      ]
+  in
+  check "read-modify-write primitives pass" 0 (count_rule "P003" fs)
+
+let test_p003_separate_defs_negative () =
+  (* a get in one definition and a set in another is not a lost-update
+     window; the rule is per-binding *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let is_enabled f = Atomic.get f\n\
+           let enable f = Atomic.set f true" );
+      ]
+  in
+  check "get and set in separate defs pass" 0 (count_rule "P003" fs)
+
+(* ------------------------------------------------------------------ *)
+(* A001: allocation on a hot path                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_a001_allocating_hot_positive () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "(* lint: hot *)\nlet push xs x = x :: xs" );
+      ]
+  in
+  check "allocating hot function flagged" 1 (count_rule "A001" fs)
+
+let test_a001_non_allocating_hot_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "(* lint: hot *)\n\
+           let bump a i = a.(i) <- a.(i) + 1\n\
+           (* lint: hot *)\n\
+           let clamp x lo hi = if x < lo then lo else if x > hi then hi else x"
+        );
+      ]
+  in
+  check "non-allocating hot functions pass" 0 (count_rule "A001" fs)
+
+let test_a001_transitive_via_helper_positive () =
+  (* the allocation lives in an unmarked helper reached from the hot
+     root; the finding is attributed to the root *)
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "let helper x = Some x\n\
+           (* lint: hot *)\n\
+           let hot x = helper x" );
+      ]
+  in
+  check "helper allocation reached from hot root" 1 (count_rule "A001" fs);
+  let f = List.find (fun (f : Finding.t) -> f.rule = "A001") fs in
+  checkb "attributed to the hot root" true
+    (let rec contains i =
+       i + 5 <= String.length f.message
+       && (String.sub f.message i 5 = "'hot'" || contains (i + 1))
+     in
+     contains 0)
+
+let test_a001_error_path_exempt_negative () =
+  let fs =
+    fresh
+      [
+        ( "lib/fake/a.ml",
+          "(* lint: hot *)\n\
+           let check v lim =\n\
+          \  if v > lim then\n\
+          \    invalid_arg (Printf.sprintf \"check: %d over %d\" v lim)" );
+      ]
+  in
+  check "error path is exempt" 0 (count_rule "A001" fs)
+
+(* ------------------------------------------------------------------ *)
 (* H001: float equality                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -423,25 +591,43 @@ let test_repo_tree_loads () =
   | None -> () (* sandboxed test run without the tree; nothing to assert *)
   | Some root ->
       let sources, libraries =
-        Engine.load_tree ~root ~dirs:[ "lib"; "bench"; "bin" ]
+        Engine.load_tree ~root ~dirs:[ "lib"; "bench"; "bin" ] ()
       in
       checkb "found a library map" true (List.length libraries >= 5);
       checkb "found the sources" true (List.length sources >= 50);
       let report = Engine.analyze ~libraries sources in
-      (* D-rules and P001 must be clean modulo inline suppressions; H001
-         may carry baseline entries, which appear as fresh here because we
-         pass no baseline *)
+      (* D-rules and the parallel-safety/allocation rules must be clean
+         modulo inline suppressions; H001 may carry baseline entries,
+         which appear as fresh here because we pass no baseline *)
       let hard =
         List.filter
           (fun (f : Finding.t) ->
             match f.rule with
-            | "D001" | "D002" | "P001" | "E000" -> true
+            | "D001" | "D002" | "P001" | "P002" | "P003" | "A001" | "E000" ->
+                true
             | _ -> false)
           (Engine.fresh report)
       in
       checks "no hard findings"
         ""
         (String.concat "; " (List.map Finding.to_text hard))
+
+(* the linter's own cross-jobs parity contract: fanning file loading and
+   the per-file rules out over the domain pool must not change a byte of
+   the report *)
+let test_jobs_parity () =
+  match repo_root () with
+  | None -> ()
+  | Some root ->
+      let report_with jobs =
+        let pool = Parallel.Pool.create ~jobs () in
+        let sources, libraries =
+          Engine.load_tree ~pool ~root ~dirs:[ "lib"; "bench"; "bin" ] ()
+        in
+        Engine.to_json (Engine.analyze ~pool ~libraries sources)
+      in
+      checks "jobs 1 and jobs 4 reports byte-identical" (report_with 1)
+        (report_with 4)
 
 let () =
   let tc = Alcotest.test_case in
@@ -479,6 +665,26 @@ let () =
           t "wrapper forwarding flagged" test_p001_wrapper_positive;
           t "task-local state passes" test_p001_lambda_local_negative;
         ] );
+      ( "p002",
+        [
+          t "captured ref flagged" test_p002_captured_ref_positive;
+          t "task-local array passes" test_p002_task_local_array_negative;
+          t "atomic counter passes" test_p002_atomic_counter_negative;
+          t "Domain.spawn flagged" test_p002_domain_spawn_positive;
+        ] );
+      ( "p003",
+        [
+          t "get-then-set flagged" test_p003_get_then_set_positive;
+          t "fetch_and_add passes" test_p003_fetch_and_add_negative;
+          t "separate defs pass" test_p003_separate_defs_negative;
+        ] );
+      ( "a001",
+        [
+          t "allocating hot flagged" test_a001_allocating_hot_positive;
+          t "non-allocating hot passes" test_a001_non_allocating_hot_negative;
+          t "transitive helper flagged" test_a001_transitive_via_helper_positive;
+          t "error path exempt" test_a001_error_path_exempt_negative;
+        ] );
       ( "h001",
         [
           t "float operands flagged" test_h001_positive;
@@ -496,5 +702,6 @@ let () =
           t "baseline round trip" test_baseline_round_trip;
           t "parse error finding" test_parse_error_is_a_finding;
           t "repo tree clean" test_repo_tree_loads;
+          t "cross-jobs parity" test_jobs_parity;
         ] );
     ]

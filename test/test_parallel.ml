@@ -160,6 +160,58 @@ let test_team_exception_lowest_task_wins () =
   Parallel.Pool.Team.run team (fun i -> sum.(i) <- i);
   check "next run still works" 120 (Array.fold_left ( + ) 0 sum)
 
+let test_team_stale_error_cleared () =
+  (* regression: run clears the per-task error slots at entry and
+     raise_first clears the slot it re-raises, so an error left over from
+     an earlier generation can never surface on a later, healthy run —
+     and a later failure at a higher index raises that index, not a
+     stale lower one *)
+  let pool = Parallel.Pool.create ~jobs:4 () in
+  let team = Parallel.Pool.Team.create pool ~tasks:16 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
+  @@ fun () ->
+  (match
+     Parallel.Pool.Team.run team (fun i ->
+         if i = 3 || i = 12 then failwith (string_of_int i))
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "first round raises lowest" "3" msg
+  | () -> Alcotest.fail "expected Failure");
+  (match
+     Parallel.Pool.Team.run team (fun i ->
+         if i = 12 then failwith (string_of_int i))
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "second round raises its own failure, not a \
+                               stale slot" "12" msg
+  | () -> Alcotest.fail "expected Failure");
+  Parallel.Pool.Team.run team (fun _ -> ());
+  (* reaching here means the healthy third round raised nothing *)
+  ()
+
+let test_team_sequential_error_semantics () =
+  (* the inline (workers <= 1) path has the same contract as the parallel
+     one: every task still runs, the lowest-indexed failure is re-raised,
+     and the team stays usable *)
+  let team = Parallel.Pool.Team.create Parallel.Pool.sequential ~tasks:7 in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
+  @@ fun () ->
+  let ran = Array.make 7 false in
+  (match
+     Parallel.Pool.Team.run team (fun i ->
+         ran.(i) <- true;
+         if i = 2 || i = 5 then failwith (string_of_int i))
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest failure wins inline" "2" msg
+  | () -> Alcotest.fail "expected Failure");
+  Alcotest.(check bool)
+    "every task ran despite the failure" true
+    (Array.for_all Fun.id ran);
+  let sum = ref 0 in
+  Parallel.Pool.Team.run team (fun i -> sum := !sum + i);
+  check "team reusable after inline failure" 21 !sum
+
 let test_team_sequential_pool_inline () =
   let team = Parallel.Pool.Team.create Parallel.Pool.sequential ~tasks:7 in
   Fun.protect ~finally:(fun () -> Parallel.Pool.Team.shutdown team)
@@ -256,6 +308,9 @@ let () =
         [
           tc "run executes every task, repeatedly" test_team_runs_every_task;
           tc "lowest-indexed exception wins" test_team_exception_lowest_task_wins;
+          tc "stale error slots are cleared" test_team_stale_error_cleared;
+          tc "inline path keeps the error contract"
+            test_team_sequential_error_semantics;
           tc "sequential pool runs inline in order"
             test_team_sequential_pool_inline;
         ] );
