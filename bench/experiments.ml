@@ -773,16 +773,27 @@ let e13 () =
 (* @bench-smoke alias to validate the observability profile end to end  *)
 (* ------------------------------------------------------------------ *)
 
+(* Decomposition engine for smoke's pipeline and the expander CLI;
+   bench/main.ml sets it from --engine. decomp-bench always runs both
+   engines (the frontier needs the comparison). *)
+let engine = ref Core.Pipeline.Spectral_engine
+
 let smoke () =
   note "\n### smoke: tiny end-to-end pass (pipeline + KPR + distributed)\n";
+  note "engine: %s\n" (Core.Pipeline.engine_name !engine);
+  (* the ref is read into the grid inputs before the fan-out, so the
+     pooled task only ever touches its own tuple and stays pure *)
   let rows =
     grid
       [
-        ("grid", Workloads.grid_of 64, 21);
-        ("blob-chain", Generators.blob_chain ~blobs:4 ~blob_size:8 ~seed:22, 22);
+        ("grid", Workloads.grid_of 64, 21, !engine);
+        ( "blob-chain",
+          Generators.blob_chain ~blobs:4 ~blob_size:8 ~seed:22,
+          22,
+          !engine );
       ]
-      (fun (name, g, seed) ->
-        let p = Core.Pipeline.prepare g ~epsilon:0.4 ~seed in
+      (fun (name, g, seed, eng) ->
+        let p = Core.Pipeline.prepare ~engine:eng g ~epsilon:0.4 ~seed in
         let part = Decomp.Kpr.chop g ~width:4 ~levels:2 ~seed in
         let d = Distr.Distributed_decomposition.decompose g ~epsilon:0.4 in
         [
@@ -1226,3 +1237,143 @@ let congest_bench () =
   in
   Obs.Export.write_file !congest_out (Obs.Json.to_string_pretty doc);
   Printf.printf "[congest-bench written to %s]\n" !congest_out
+
+(* ------------------------------------------------------------------ *)
+(* decomp-bench: the quality-vs-speed frontier of the two expander-    *)
+(* decomposition engines (spectral bipartitioning vs the flow-based    *)
+(* cut-matching game) over a grid / planar / regular size ladder.      *)
+(* Both engines run at every point; small instances are cross-checked  *)
+(* against the spectral conductance oracle (every accepted cluster     *)
+(* must certify >= phi). Results go to BENCH_decomp.json (schema       *)
+(* "expander-decomp-bench", validated by check_profile --decomp-bench).*)
+(* bench/main.ml sets the refs from --decomp-n / --decomp-out.         *)
+(* ------------------------------------------------------------------ *)
+
+let decomp_n = ref 16_384
+let decomp_out = ref "BENCH_decomp.json"
+
+let decomp_epsilon = 0.5
+
+(* instances up to this size get the full conductance oracle pass *)
+let decomp_oracle_limit = 300
+
+let decomp_families seed =
+  [
+    ("grid", fun n -> Workloads.grid_of n);
+    ("planar", fun n -> Generators.random_apollonian (max 4 n) ~seed);
+    ("regular",
+     fun n ->
+       let n = max 4 (if n mod 2 = 0 then n else n + 1) in
+       Generators.random_regular n 4 ~seed);
+  ]
+
+let decomp_bench () =
+  note "\n### decomp-bench: spectral vs cut-matching expander decomposition\n";
+  note "quality (inter-cluster edge fraction, oracle conductance) vs wall\n";
+  note "time on a grid/planar/regular ladder; epsilon = %.2f\n" decomp_epsilon;
+  let rungs =
+    let top = max 64 !decomp_n in
+    let candidates =
+      List.sort_uniq compare
+        (List.filter (fun x -> x >= 64) [ top / 64; top / 16; top / 4; top ])
+    in
+    if candidates = [] then [ top ] else candidates
+  in
+  let engines =
+    [ Core.Pipeline.Spectral_engine; Core.Pipeline.Cut_matching_engine ]
+  in
+  let bench_one fname g n eng =
+    let t0 = Obs.Clock.wall_s () in
+    let d, st =
+      match eng with
+      | Core.Pipeline.Spectral_engine ->
+          ( Spectral.Expander_decomposition.decompose ~pool:!pool g
+              ~epsilon:decomp_epsilon,
+            Flow.Decomp_engine.zero_stats )
+      | Core.Pipeline.Cut_matching_engine ->
+          Flow.Decomp_engine.decompose ~pool:!pool g ~epsilon:decomp_epsilon
+    in
+    let seconds = Obs.Clock.wall_s () -. t0 in
+    let open Spectral.Expander_decomposition in
+    let inter = List.length d.inter_edges in
+    let frac = inter_fraction g d in
+    let oracle_checked = Graph.n g <= decomp_oracle_limit in
+    let oracle =
+      if oracle_checked then begin
+        let inter_ok, worst = verify ~pool:!pool g d in
+        Some (inter_ok && worst +. 1e-9 >= d.phi, worst)
+      end
+      else None
+    in
+    let ename = Core.Pipeline.engine_name eng in
+    let row =
+      [
+        fname; i (Graph.n g); ename; i d.k; pct frac;
+        Printf.sprintf "%.3f" seconds;
+        i st.Flow.Decomp_engine.games;
+        i st.Flow.Decomp_engine.game_rounds;
+        i st.Flow.Decomp_engine.flow_calls;
+        i st.Flow.Decomp_engine.heuristic_cuts;
+        (match oracle with
+        | None -> "-"
+        | Some (true, worst) -> Printf.sprintf "ok (%.4f)" worst
+        | Some (false, worst) -> Printf.sprintf "FAIL (%.4f)" worst);
+      ]
+    in
+    let json =
+      Obs.Json.Obj
+        ([
+           ("family", Obs.Json.Str fname);
+           ("n", Obs.Json.Int n);
+           ("engine", Obs.Json.Str ename);
+           ("seconds", Obs.Json.Float seconds);
+           ("k", Obs.Json.Int d.k);
+           ("inter_edges", Obs.Json.Int inter);
+           ("inter_fraction", Obs.Json.Float frac);
+           ("phi", Obs.Json.Float d.phi);
+           ("tau", Obs.Json.Float d.tau);
+           ("games", Obs.Json.Int st.Flow.Decomp_engine.games);
+           ("game_rounds", Obs.Json.Int st.Flow.Decomp_engine.game_rounds);
+           ("flow_calls", Obs.Json.Int st.Flow.Decomp_engine.flow_calls);
+           ("heuristic_cuts",
+            Obs.Json.Int st.Flow.Decomp_engine.heuristic_cuts);
+           ("oracle_checked", Obs.Json.Bool oracle_checked);
+         ]
+        @
+        match oracle with
+        | None -> []
+        | Some (ok, worst) ->
+            [
+              ("oracle_ok", Obs.Json.Bool ok);
+              ("min_conductance", Obs.Json.Float worst);
+            ])
+    in
+    (json, row)
+  in
+  let results =
+    List.concat_map
+      (fun (fname, gen) ->
+        List.concat_map
+          (fun n ->
+            let g = gen n in
+            List.map (fun eng -> bench_one fname g n eng) engines)
+          rungs)
+      (decomp_families 20220711)
+  in
+  print_table ~title:"decomp-bench: spectral vs cut-matching"
+    ~header:
+      [ "family"; "n"; "engine"; "k"; "inter"; "seconds"; "games"; "rounds";
+        "flows"; "heur"; "oracle" ]
+    (List.map snd results);
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "expander-decomp-bench");
+        ("version", Obs.Json.Int 1);
+        ("epsilon", Obs.Json.Float decomp_epsilon);
+        ("n", Obs.Json.Int !decomp_n);
+        ("results", Obs.Json.List (List.map fst results));
+      ]
+  in
+  Obs.Export.write_file !decomp_out (Obs.Json.to_string_pretty doc);
+  Printf.printf "[decomp-bench written to %s]\n" !decomp_out

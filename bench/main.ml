@@ -151,6 +151,7 @@ let experiments =
     ("e13", Experiments.e13);
     ("fault-sweep", Experiments.fault_sweep);
     ("congest-bench", Experiments.congest_bench);
+    ("decomp-bench", Experiments.decomp_bench);
     ("smoke", Experiments.smoke);
     ("timing", timing);
   ]
@@ -234,6 +235,25 @@ let () =
     | "--congest-out" :: p :: rest ->
         Experiments.congest_out := p;
         parse_args acc jobs profile trace timings rest
+    | "--engine" :: v :: rest ->
+        (match Core.Pipeline.engine_of_string v with
+        | Some e ->
+            Experiments.engine := e;
+            parse_args acc jobs profile trace timings rest
+        | None ->
+            Printf.eprintf "--engine expects spectral or cutmatching, got %S\n" v;
+            exit 1)
+    | "--decomp-n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 4 ->
+            Experiments.decomp_n := m;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--decomp-n expects an integer >= 4, got %S\n" v;
+            exit 1)
+    | "--decomp-out" :: p :: rest ->
+        Experiments.decomp_out := p;
+        parse_args acc jobs profile trace timings rest
     | "--shards" :: v :: rest ->
         (match int_of_string_opt v with
         | Some s when s >= 1 ->
@@ -256,7 +276,8 @@ let () =
     | "--timings" :: p :: rest -> parse_args acc jobs profile trace p rest
     | [ (("--jobs" | "--profile" | "--trace" | "--timings" | "--fault-seed"
         | "--drop-rate" | "--congest-n" | "--congest-out" | "--shards"
-        | "--congest-scale-max") as flag) ] ->
+        | "--congest-scale-max" | "--engine" | "--decomp-n"
+        | "--decomp-out") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         exit 1
     | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest

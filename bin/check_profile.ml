@@ -3,6 +3,7 @@
      check_profile.exe --schema PROFILE [--trace TRACE]
      check_profile.exe --compare A B
      check_profile.exe --congest-bench BENCH
+     check_profile.exe --decomp-bench BENCH [--require-frontier]
 
    --schema structurally validates a profile emitted by bench/main.exe
    --profile: schema name/version, the deterministic section (span tree
@@ -16,7 +17,9 @@
    cross---jobs parity contract. --congest-bench validates a
    BENCH_congest.json written by the congest-bench experiment: schema
    name, per-workload structure, stats_equal = true everywhere, and
-   the scheduling invariant active_vertices <= n * rounds. Exit code 0
+   the scheduling invariant active_vertices <= n * rounds.
+   --decomp-bench validates a BENCH_decomp.json written by the
+   decomp-bench experiment (see check_decomp_bench below). Exit code 0
    on success, 1 with a message on the first violation found. *)
 
 open Obs
@@ -264,11 +267,154 @@ let check_congest_bench path =
         (List.length entries)
   | _ -> fail "%s: scaling is not a list" path
 
+(* BENCH_decomp.json: the spectral vs cut-matching frontier.
+
+   Structure: schema/version, numeric fields non-negative,
+   inter_fraction in [0, 1], both engines present at every (family, n)
+   point, per (family, engine) strictly increasing n (the ladder is
+   monotone), and oracle_ok = true wherever the conductance oracle ran.
+   With --require-frontier additionally enforces the quality-vs-speed
+   claim on the largest rung of each family: cut-matching must be no
+   slower than spectral at an equal-or-better inter-cluster edge
+   fraction. Gates on freshly generated small runs omit the flag — at
+   tiny sizes the game's fixed costs dominate and the frontier claim is
+   only made for the committed full-size file. *)
+
+let decomp_num path ctx e name =
+  match member name e with
+  | Some (Json.Float v) when v >= 0. -> v
+  | Some (Json.Int v) when v >= 0 -> float_of_int v
+  | Some (Json.Float _) | Some (Json.Int _) ->
+      fail "%s: %s.%s is negative" path ctx name
+  | _ -> fail "%s: %s.%s missing or not numeric" path ctx name
+
+let check_decomp_bench path ~require_frontier =
+  let doc = parse path in
+  (match require path "schema" doc with
+  | Json.Str "expander-decomp-bench" -> ()
+  | Json.Str s ->
+      fail "%s: schema is %S, expected \"expander-decomp-bench\"" path s
+  | _ -> fail "%s: schema is not a string" path);
+  (match require path "version" doc with
+  | Json.Int 1 -> ()
+  | Json.Int v -> fail "%s: version is %d, expected 1" path v
+  | _ -> fail "%s: version is not an integer" path);
+  ignore (decomp_num path "doc" doc "epsilon");
+  match require path "results" doc with
+  | Json.List [] -> fail "%s: results is empty" path
+  | Json.List entries ->
+      (* (family, engine) -> last n seen; (family, n) -> engine set;
+         (family, engine) -> best entry at max n *)
+      let last_n : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+      let seen : (string * int, string list) Hashtbl.t = Hashtbl.create 8 in
+      let at_max : (string * string, int * float * float) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let oracles = ref 0 in
+      List.iteri
+        (fun idx e ->
+          let ctx = Printf.sprintf "results[%d]" idx in
+          let str name =
+            match member name e with
+            | Some (Json.Str s) -> s
+            | _ -> fail "%s: %s.%s missing or not a string" path ctx name
+          in
+          let family = str "family" in
+          let engine = str "engine" in
+          if engine <> "spectral" && engine <> "cutmatching" then
+            fail "%s: %s.engine is %S, expected spectral or cutmatching" path
+              ctx engine;
+          let n = int_of_float (decomp_num path ctx e "n") in
+          let seconds = decomp_num path ctx e "seconds" in
+          let frac = decomp_num path ctx e "inter_fraction" in
+          if frac > 1. then
+            fail "%s: %s.inter_fraction = %f > 1" path ctx frac;
+          List.iter
+            (fun k -> ignore (decomp_num path ctx e k))
+            [ "k"; "inter_edges"; "phi"; "tau"; "games"; "game_rounds";
+              "flow_calls"; "heuristic_cuts" ];
+          (match member "oracle_checked" e with
+          | Some (Json.Bool true) -> (
+              incr oracles;
+              ignore (decomp_num path ctx e "min_conductance");
+              match member "oracle_ok" e with
+              | Some (Json.Bool true) -> ()
+              | Some (Json.Bool false) ->
+                  fail
+                    "%s: %s.oracle_ok is false — a cluster failed the \
+                     conductance oracle"
+                    path ctx
+              | _ -> fail "%s: %s.oracle_ok missing or not a bool" path ctx)
+          | Some (Json.Bool false) -> ()
+          | _ -> fail "%s: %s.oracle_checked missing or not a bool" path ctx);
+          (match Hashtbl.find_opt last_n (family, engine) with
+          | Some prev when n <= prev ->
+              fail "%s: %s: n = %d after n = %d for %s/%s — not monotone"
+                path ctx n prev family engine
+          | _ -> ());
+          Hashtbl.replace last_n (family, engine) n;
+          let engines_here =
+            Option.value ~default:[] (Hashtbl.find_opt seen (family, n))
+          in
+          if List.mem engine engines_here then
+            fail "%s: %s: duplicate %s/%s entry at n = %d" path ctx family
+              engine n;
+          Hashtbl.replace seen (family, n) (engine :: engines_here);
+          (match Hashtbl.find_opt at_max (family, engine) with
+          | Some (prev, _, _) when prev >= n -> ()
+          | _ -> Hashtbl.replace at_max (family, engine) (n, seconds, frac)))
+        entries;
+      Hashtbl.iter
+        (fun (family, n) engines ->
+          if not (List.mem "spectral" engines && List.mem "cutmatching" engines)
+          then
+            fail "%s: %s at n = %d has only [%s] — both engines required"
+              path family n
+              (String.concat ", " engines))
+        seen;
+      let frontier_checked = ref 0 in
+      if require_frontier then begin
+        (* iterate families in sorted order, not hash order *)
+        let cm_points =
+          Hashtbl.fold
+            (fun (family, engine) v acc ->
+              if engine = "cutmatching" then (family, v) :: acc else acc)
+            at_max []
+          |> List.sort compare
+        in
+        List.iter
+          (fun (family, (n, cm_s, cm_frac)) ->
+            match Hashtbl.find_opt at_max (family, "spectral") with
+            | Some (sp_n, sp_s, sp_frac) when sp_n = n ->
+                incr frontier_checked;
+                if cm_s > sp_s then
+                  fail
+                    "%s: frontier: %s at n = %d: cutmatching %.3fs slower \
+                     than spectral %.3fs"
+                    path family n cm_s sp_s;
+                if cm_frac > sp_frac +. 1e-9 then
+                  fail
+                    "%s: frontier: %s at n = %d: cutmatching inter \
+                     fraction %.4f worse than spectral %.4f"
+                    path family n cm_frac sp_frac
+            | _ ->
+                fail "%s: frontier: %s lacks a spectral entry at n = %d" path
+                  family n)
+          cm_points
+      end;
+      Printf.printf "%s: decomp-bench ok (%d entries, %d oracle-checked%s)\n"
+        path (List.length entries) !oracles
+        (if require_frontier then
+           Printf.sprintf ", frontier ok on %d families" !frontier_checked
+         else "")
+  | _ -> fail "%s: results is not a list" path
+
 let usage () =
   prerr_endline
     "usage: check_profile.exe --schema PROFILE [--trace TRACE]\n\
     \       check_profile.exe --compare A B\n\
-    \       check_profile.exe --congest-bench BENCH";
+    \       check_profile.exe --congest-bench BENCH\n\
+    \       check_profile.exe --decomp-bench BENCH [--require-frontier]";
   exit 2
 
 let () =
@@ -290,6 +436,17 @@ let () =
          exit 1)
   | [ _; "--congest-bench"; bench ] ->
       (try check_congest_bench bench
+       with Bad msg ->
+         prerr_endline msg;
+         exit 1)
+  | _ :: "--decomp-bench" :: bench :: rest ->
+      let require_frontier =
+        match rest with
+        | [] -> false
+        | [ "--require-frontier" ] -> true
+        | _ -> usage ()
+      in
+      (try check_decomp_bench bench ~require_frontier
        with Bad msg ->
          prerr_endline msg;
          exit 1)

@@ -82,8 +82,18 @@ let distributed_arg =
         ~doc:
           "Use the fully distributed construction            (Distr.Distributed_decomposition) instead of the centralized            oracle.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("spectral", Core.Pipeline.Spectral_engine);
+                  ("cutmatching", Core.Pipeline.Cut_matching_engine) ])
+        Core.Pipeline.Spectral_engine
+    & info [ "engine" ]
+        ~doc:
+          "Decomposition engine: $(b,spectral) (Fiedler bipartitioning,            default) or $(b,cutmatching) (flow-based cut-matching game).")
+
 let decompose_cmd =
-  let run family n eps seed save dot distributed =
+  let run family n eps seed save dot distributed engine =
     let g = make_graph family n seed in
     Printf.printf "graph: %s n=%d m=%d\n" family (Graph.n g) (Graph.m g);
     let labels, k, inter, tau =
@@ -95,7 +105,19 @@ let decompose_cmd =
         (d.labels, d.k, List.length d.inter_edges, d.tau)
       end
       else begin
-        let d = Spectral.Expander_decomposition.decompose g ~epsilon:eps in
+        let d =
+          match engine with
+          | Core.Pipeline.Spectral_engine ->
+              Spectral.Expander_decomposition.decompose g ~epsilon:eps
+          | Core.Pipeline.Cut_matching_engine ->
+              let d, st = Flow.Decomp_engine.decompose g ~epsilon:eps in
+              Printf.printf
+                "cut-matching: %d games, %d rounds, %d flow calls, %d heuristic cuts\n"
+                st.Flow.Decomp_engine.games st.Flow.Decomp_engine.game_rounds
+                st.Flow.Decomp_engine.flow_calls
+                st.Flow.Decomp_engine.heuristic_cuts;
+              d
+        in
         let _, worst = Spectral.Expander_decomposition.verify g d in
         Printf.printf "measured min cluster conductance: %.4f\n" worst;
         (d.labels, d.k, List.length d.inter_edges, d.tau)
@@ -121,7 +143,7 @@ let decompose_cmd =
   Cmd.v (Cmd.info "decompose" ~doc:"Run the (eps, phi) expander decomposition.")
     Term.(
       const run $ family_arg $ n_arg $ eps_arg $ seed_arg $ save_arg $ dot_arg
-      $ distributed_arg)
+      $ distributed_arg $ engine_arg)
 
 let mis_cmd =
   let run family n eps seed simulate =

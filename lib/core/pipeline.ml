@@ -2,6 +2,17 @@ open Sparse_graph
 
 type mode = Simulated | Charged
 
+type engine = Spectral_engine | Cut_matching_engine
+
+let engine_of_string = function
+  | "spectral" -> Some Spectral_engine
+  | "cutmatching" | "cut-matching" | "cm" -> Some Cut_matching_engine
+  | _ -> None
+
+let engine_name = function
+  | Spectral_engine -> "spectral"
+  | Cut_matching_engine -> "cutmatching"
+
 type cluster = {
   leader : int;
   members : int list;
@@ -85,12 +96,14 @@ let build_clusters geometry leader_of =
       { leader; members = vs; sub; mapping })
     geometry
 
-let prepare ?(mode = Simulated) ?(pool = Parallel.Pool.sequential) g ~epsilon
-    ~seed =
+let prepare ?(mode = Simulated) ?(engine = Spectral_engine)
+    ?(pool = Parallel.Pool.sequential) g ~epsilon ~seed =
   Obs.Span.with_ "pipeline.prepare" @@ fun () ->
   let n = Graph.n g in
   let decomposition =
-    Spectral.Expander_decomposition.decompose ~pool g ~epsilon
+    match engine with
+    | Spectral_engine -> Spectral.Expander_decomposition.decompose ~pool g ~epsilon
+    | Cut_matching_engine -> fst (Flow.Decomp_engine.decompose ~pool g ~epsilon)
   in
   let view = Distr.Cluster_view.of_labels g decomposition.labels in
   let geometry =

@@ -19,6 +19,19 @@
 
 type mode = Simulated | Charged
 
+(** Which expander-decomposition engine drives the framework: recursive
+    spectral bipartitioning (default) or the flow-based cut-matching game
+    ([Flow.Decomp_engine]). Both produce the same result record with the
+    same thresholds, are deterministic for every pool size, and are
+    interchangeable downstream; spectral doubles as the cross-check oracle
+    on small graphs. *)
+type engine = Spectral_engine | Cut_matching_engine
+
+(** Parse ["spectral"] / ["cutmatching"] (also ["cut-matching"], ["cm"]). *)
+val engine_of_string : string -> engine option
+
+val engine_name : engine -> string
+
 type cluster = {
   leader : int;                     (** v_i*, in original vertex ids *)
   members : int list;               (** V_i, sorted *)
@@ -51,17 +64,18 @@ type t = {
   report : report;
 }
 
-(** [prepare ?mode ?pool g ~epsilon ~seed] runs decomposition, election,
-    and gathering. In [Simulated] mode (default) the phases run on the
-    CONGEST simulator; gathering retries with doubled walk budgets until
-    complete. The decomposition recursion, the per-cluster subgraph
-    construction, and the diameter bound fan out on [pool] (default
-    sequential); the result is identical for every pool size.
+(** [prepare ?mode ?engine ?pool g ~epsilon ~seed] runs decomposition,
+    election, and gathering. In [Simulated] mode (default) the phases run
+    on the CONGEST simulator; gathering retries with doubled walk budgets
+    until complete. [engine] (default [Spectral_engine]) selects the
+    decomposition engine. The decomposition recursion, the per-cluster
+    subgraph construction, and the diameter bound fan out on [pool]
+    (default sequential); the result is identical for every pool size.
     @raise Failure if simulated gathering cannot complete within the
     largest budget (does not occur on certified decompositions). *)
 val prepare :
-  ?mode:mode -> ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t ->
-  epsilon:float -> seed:int -> t
+  ?mode:mode -> ?engine:engine -> ?pool:Parallel.Pool.t ->
+  Sparse_graph.Graph.t -> epsilon:float -> seed:int -> t
 
 (** [solve_locally t f] runs [f] on every cluster (the leader's local
     computation) and returns the per-cluster results. *)

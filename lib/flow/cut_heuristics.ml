@@ -1,0 +1,71 @@
+open Sparse_graph
+
+(* Cheap cut attempts tried before any flow is run: a disconnected
+   component (conductance zero), a degree-order sweep (splits skewed
+   degree profiles such as stars-with-tails), and a BFS double-sweep
+   (exact on paths, trees, and cycles). Each costs O(n + m) or one sort;
+   a hit saves an entire cut-matching game on the cluster. *)
+
+type cut = {
+  side : bool array;
+  conductance : float;
+  source : string;  (* "component" | "degree" | "bfs" *)
+}
+
+let component_cut g =
+  let n = Graph.n g in
+  if n <= 1 then None
+  else begin
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.push 0 queue;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Graph.iter_neighbors g v (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            incr count;
+            Queue.push w queue
+          end)
+    done;
+    if !count = n then None
+    else Some { side = seen; conductance = 0.; source = "component" }
+  end
+
+let degree_cut g =
+  let n = Graph.n g in
+  if n <= 1 then None
+  else
+    let embedding = Array.init n (fun v -> float_of_int (Graph.degree g v)) in
+    let c = Spectral.Sweep_cut.sweep g embedding in
+    Some { side = c.Spectral.Sweep_cut.side;
+           conductance = c.Spectral.Sweep_cut.conductance;
+           source = "degree" }
+
+let bfs_cut g =
+  let n = Graph.n g in
+  if n <= 1 || Graph.m g = 0 then None
+  else
+    let c = Spectral.Sweep_cut.bfs_sweep g in
+    Some { side = c.Spectral.Sweep_cut.side;
+           conductance = c.Spectral.Sweep_cut.conductance;
+           source = "bfs" }
+
+(* best heuristic cut strictly sparser than [tau], if any; the component
+   cut short-circuits (the game assumes a connected cluster) *)
+let cheapest g ~tau =
+  match component_cut g with
+  | Some _ as hit -> hit
+  | None ->
+      let better best cand =
+        match (best, cand) with
+        | None, c -> c
+        | b, None -> b
+        | Some b, Some c -> if c.conductance < b.conductance then cand else best
+      in
+      let best = better (degree_cut g) (bfs_cut g) in
+      (match best with
+       | Some c when c.conductance < tau -> best
+       | _ -> None)

@@ -1,0 +1,26 @@
+(** Cheap cut attempts tried before each cut-matching game.
+
+    Each heuristic costs [O(n + m)] (plus one sort for the sweeps); a hit
+    skips an entire game of flow computations on the cluster. *)
+
+type cut = {
+  side : bool array;
+  conductance : float;
+  source : string;  (** ["component"], ["degree"], or ["bfs"] *)
+}
+
+(** Some zero-conductance cut separating vertex 0's connected component
+    when the graph is disconnected; [None] when connected or [n <= 1]. *)
+val component_cut : Sparse_graph.Graph.t -> cut option
+
+(** Best prefix cut of the degree order ([None] when [n <= 1]). *)
+val degree_cut : Sparse_graph.Graph.t -> cut option
+
+(** Best prefix cut of the BFS double-sweep order ([None] when [n <= 1]
+    or the graph has no edges). *)
+val bfs_cut : Sparse_graph.Graph.t -> cut option
+
+(** [cheapest g ~tau] is a component cut if one exists, else the best of
+    the sweeps when its conductance is strictly below [tau], else
+    [None]. *)
+val cheapest : Sparse_graph.Graph.t -> tau:float -> cut option

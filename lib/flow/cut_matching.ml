@@ -1,0 +1,206 @@
+open Sparse_graph
+
+(* The cut-matching game (Khandekar-Rao-Vazirani style, with the
+   practical knobs): the cut player sorts the vertices by a random
+   projection vector and proposes the balanced bisection; the matching
+   player tries to route a perfect matching across it with per-edge
+   capacity ~ 1/tau and bounded push-relabel height. A routed matching
+   averages the projection vectors (driving their variance potential
+   down); a failed routing yields a level cut. The game ends with either
+   a sparse cut or a sequence of embedded matchings that certifies the
+   cluster behaves like an expander.
+
+   Before any flow runs in a round, the projection vector itself is swept
+   (Spectral.Sweep_cut.sweep): if the order already exposes a cut sparser
+   than tau, the round is settled for free. *)
+
+type params = {
+  max_rounds_const : int;
+  max_rounds_log : float;     (* rounds = const + ceil(log * log2 n) *)
+  flow_vectors : int;         (* projection vectors maintained in parallel *)
+  cap_scale : float;          (* per-edge capacity = ceil(cap_scale / tau) *)
+  height_scale : float;       (* height limit = ceil(scale * log2 n / tau) *)
+  potential_drop : float;     (* declare expander when P <= drop * P0 *)
+  global_relabel_period : int;
+}
+
+let default =
+  {
+    max_rounds_const = 4;
+    max_rounds_log = 2.0;
+    flow_vectors = 2;
+    cap_scale = 1.0;
+    height_scale = 1.0;
+    potential_drop = 1e-3;
+    global_relabel_period = 8;
+  }
+
+type witness = {
+  rounds : int;            (* rounds actually played *)
+  matchings : (int * int) array list;  (* newest first, one per routed round *)
+  congestion : int;        (* per-edge capacity all matchings routed under *)
+  max_path_length : int;   (* dilation over every embedded matching path *)
+  potential : float;       (* final / initial projection variance *)
+}
+
+type cut = { side : bool array; conductance : float; via : string }
+
+type verdict = Expander of witness | Cut of cut
+
+type stats = { rounds_played : int; flow_calls : int }
+
+let trivial_witness =
+  { rounds = 0; matchings = []; congestion = 0; max_path_length = 0;
+    potential = 0. }
+
+(* mean-centered variance of a projection vector *)
+let potential_of vecs =
+  let total = ref 0. in
+  Array.iter
+    (fun x ->
+      let n = Array.length x in
+      let mean = Array.fold_left ( +. ) 0. x /. float_of_int n in
+      Array.iter (fun v -> total := !total +. (( v -. mean) *. (v -. mean))) x)
+    vecs;
+  !total
+
+let log2f x = log x /. log 2.
+
+let run ?(params = default) g ~tau ~seed =
+  let n = Graph.n g in
+  if n <= 3 || Graph.m g = 0 || tau <= 0. then
+    (Expander trivial_witness, { rounds_played = 0; flow_calls = 0 })
+  else begin
+    let rounds_cap =
+      params.max_rounds_const
+      + int_of_float (ceil (params.max_rounds_log *. log2f (float_of_int n)))
+    in
+    let cap = max 1 (int_of_float (ceil (params.cap_scale /. tau))) in
+    let limit =
+      min (n + 1)
+        (max 2
+           (int_of_float
+              (ceil (params.height_scale *. log2f (float_of_int n) /. tau))))
+    in
+    let net = Net.of_graph ~capacity:(fun _ -> cap) g in
+    let k = max 1 params.flow_vectors in
+    let vecs =
+      Array.init k (fun i ->
+          let st =
+            Random.State.make
+              [| Parallel.Pool.derive_seed seed ((i * 7_368_787) + 1) |]
+          in
+          Array.init n (fun _ -> if Random.State.bool st then 1. else -1.))
+    in
+    let p0 = max epsilon_float (potential_of vecs) in
+    let order = Array.init n (fun v -> v) in
+    let supply = Array.make n 0 in
+    let sink_cap = Array.make n 0 in
+    let matchings = ref [] in
+    let max_path_length = ref 0 in
+    let verdict = ref None in
+    let round = ref 0 in
+    let flow_calls = ref 0 in
+    while !verdict = None && !round < rounds_cap do
+      let active = vecs.(!round mod k) in
+      (* flow-free check: sweep the projection order itself *)
+      let swept = Spectral.Sweep_cut.sweep g active in
+      if swept.Spectral.Sweep_cut.conductance < tau then begin
+        Obs.Metric.incr "cm.projection_cuts";
+        verdict :=
+          Some
+            (Cut
+               { side = swept.Spectral.Sweep_cut.side;
+                 conductance = swept.Spectral.Sweep_cut.conductance;
+                 via = "projection" })
+      end
+      else begin
+        (* balanced bisection of the projection order, ties by index *)
+        Array.sort
+          (fun a b ->
+            let c = compare active.(a) active.(b) in
+            if c <> 0 then c else compare a b)
+          order;
+        let half = n / 2 in
+        Array.fill supply 0 n 0;
+        Array.fill sink_cap 0 n 0;
+        for i = 0 to half - 1 do
+          supply.(order.(i)) <- 1
+        done;
+        for i = half to n - 1 do
+          sink_cap.(order.(i)) <- 1
+        done;
+        Net.reset net;
+        incr flow_calls;
+        let outcome =
+          Push_relabel.run ~global_relabel_period:params.global_relabel_period
+            net ~supply ~sink_cap ~limit
+        in
+        if Push_relabel.fully_routed outcome then begin
+          (* embed the matching, average the vectors along its pairs *)
+          let dec = Path_decompose.decompose net in
+          if dec.Path_decompose.max_length > !max_path_length then
+            max_path_length := dec.Path_decompose.max_length;
+          let pairs =
+            Array.of_list
+              (List.map
+                 (fun p -> (p.Path_decompose.src, p.Path_decompose.dst))
+                 dec.Path_decompose.paths)
+          in
+          matchings := pairs :: !matchings;
+          Array.iter
+            (fun x ->
+              Array.iter
+                (fun (a, b) ->
+                  let avg = (x.(a) +. x.(b)) /. 2. in
+                  x.(a) <- avg;
+                  x.(b) <- avg)
+                pairs)
+            vecs;
+          if potential_of vecs <= params.potential_drop *. p0 then
+            verdict :=
+              Some
+                (Expander
+                   { rounds = !round + 1;
+                     matchings = !matchings;
+                     congestion = cap;
+                     max_path_length = !max_path_length;
+                     potential = potential_of vecs /. p0 })
+        end
+        else begin
+          (* routing failed: the level structure certifies a cut *)
+          Obs.Metric.incr "cm.flow_cuts";
+          let level =
+            Push_relabel.level_cut g ~height:outcome.Push_relabel.height ~limit
+          in
+          let side, conductance, via =
+            match level with
+            | Some (side, c)
+              when c <= swept.Spectral.Sweep_cut.conductance ->
+                (side, c, "flow")
+            | Some _ | None ->
+                ( swept.Spectral.Sweep_cut.side,
+                  swept.Spectral.Sweep_cut.conductance,
+                  "projection-fallback" )
+          in
+          verdict := Some (Cut { side; conductance; via })
+        end
+      end;
+      incr round
+    done;
+    let v =
+      match !verdict with
+      | Some v -> v
+      | None ->
+          (* rounds exhausted with every matching routed: accept *)
+          Expander
+            { rounds = !round;
+              matchings = !matchings;
+              congestion = cap;
+              max_path_length = !max_path_length;
+              potential = potential_of vecs /. p0 }
+    in
+    Obs.Metric.count "cm.rounds" !round;
+    Obs.Metric.count "cm.flow_calls" !flow_calls;
+    (v, { rounds_played = !round; flow_calls = !flow_calls })
+  end

@@ -1,0 +1,53 @@
+(** The cut-matching game: certify a cluster as a near-expander or find a
+    sparse cut.
+
+    Each round, the cut player sorts the vertices by a random projection
+    vector (seeded via [Parallel.Pool.derive_seed], so the game is a pure
+    function of [(g, tau, seed, params)]) and proposes the balanced
+    bisection; the matching player routes a perfect matching across it
+    with per-edge capacity [ceil(cap_scale / tau)] and push-relabel
+    height bounded by [ceil(height_scale * log2 n / tau)]. Routed
+    matchings average the projection vectors (a potential argument: the
+    variance halves along matched pairs); a failed routing yields a level
+    cut. Before any flow runs, the projection order itself is swept — a
+    conductance below [tau] settles the round for free. *)
+
+type params = {
+  max_rounds_const : int;
+  max_rounds_log : float;   (** rounds = const + ceil(log * log2 n) *)
+  flow_vectors : int;       (** projection vectors maintained in parallel *)
+  cap_scale : float;        (** per-edge capacity = ceil(cap_scale / tau) *)
+  height_scale : float;     (** height limit = ceil(scale * log2 n / tau) *)
+  potential_drop : float;   (** declare expander when P <= drop * P0 *)
+  global_relabel_period : int;
+}
+
+val default : params
+
+(** Everything needed to audit an acceptance: the routed matchings embed
+    in the cluster with per-edge congestion [congestion] and path length
+    at most [max_path_length]. *)
+type witness = {
+  rounds : int;
+  matchings : (int * int) array list;  (** newest first, one per routed round *)
+  congestion : int;
+  max_path_length : int;
+  potential : float;  (** final / initial projection variance *)
+}
+
+type cut = {
+  side : bool array;
+  conductance : float;
+  via : string;  (** ["projection"], ["flow"], or ["projection-fallback"] *)
+}
+
+type verdict = Expander of witness | Cut of cut
+
+type stats = { rounds_played : int; flow_calls : int }
+
+(** [run ?params g ~tau ~seed] plays the game on a connected cluster.
+    Clusters with [n <= 3], no edges, or [tau <= 0] are accepted with a
+    trivial witness. *)
+val run :
+  ?params:params -> Sparse_graph.Graph.t -> tau:float -> seed:int ->
+  verdict * stats

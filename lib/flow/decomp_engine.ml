@@ -1,0 +1,202 @@
+open Sparse_graph
+
+(* Flow-based expander decomposition: the same frontier-wave recursion as
+   Spectral.Expander_decomposition (same task identity, same seeding, same
+   DFS pre-order labels — so the two engines are drop-in interchangeable
+   and both are deterministic across pool sizes), but each cluster is
+   judged by cheap cut heuristics and then the cut-matching game instead
+   of Fiedler sweeps. The result reuses the spectral result record, so
+   everything downstream (verify, conductance reports, the pipeline) is
+   shared. *)
+
+type params = {
+  game : Cut_matching.params;
+  exact_limit : int;  (* clusters up to this size use exhaustive conductance *)
+  seed : int;
+}
+
+let default_params = { game = Cut_matching.default; exact_limit = 14; seed = 0 }
+
+type stats = {
+  games : int;           (* cut-matching games played *)
+  game_rounds : int;     (* rounds across all games *)
+  flow_calls : int;      (* bounded push-relabel runs *)
+  heuristic_cuts : int;  (* clusters split by a cheap heuristic, no game *)
+}
+
+let zero_stats =
+  { games = 0; game_rounds = 0; flow_calls = 0; heuristic_cuts = 0 }
+
+let add_stats a b =
+  {
+    games = a.games + b.games;
+    game_rounds = a.game_rounds + b.game_rounds;
+    flow_calls = a.flow_calls + b.flow_calls;
+    heuristic_cuts = a.heuristic_cuts + b.heuristic_cuts;
+  }
+
+(* Judge one cluster (induced subgraph): [None] accepts it, [Some (l, r)]
+   splits it (original-vertex ids). Mirrors the spectral splitter's
+   structure; the seed must be a pure function of the cluster identity. *)
+let try_split params sub (mapping : Graph_ops.mapping) tau ~seed =
+  let n = Graph.n sub in
+  if n < 2 then (None, zero_stats)
+  else if Graph.m sub = 0 then
+    (* split isolated vertices off one at a time *)
+    ( Some
+        ( [ mapping.to_orig.(0) ],
+          List.init (n - 1) (fun i -> mapping.to_orig.(i + 1)) ),
+      zero_stats )
+  else begin
+    let split_along side =
+      let left = ref [] and right = ref [] in
+      for v = n - 1 downto 0 do
+        if side.(v) then left := mapping.to_orig.(v) :: !left
+        else right := mapping.to_orig.(v) :: !right
+      done;
+      Some (!left, !right)
+    in
+    if n <= params.exact_limit then begin
+      let phi_exact, side = Spectral.Conductance.exact_cut sub in
+      if phi_exact >= tau then (None, zero_stats)
+      else (split_along side, zero_stats)
+    end
+    else
+      match Cut_heuristics.cheapest sub ~tau with
+      | Some hit ->
+          (split_along hit.Cut_heuristics.side,
+           { zero_stats with heuristic_cuts = 1 })
+      | None -> (
+          let verdict, g_stats =
+            Cut_matching.run ~params:params.game sub ~tau ~seed
+          in
+          let stats =
+            {
+              games = 1;
+              game_rounds = g_stats.Cut_matching.rounds_played;
+              flow_calls = g_stats.Cut_matching.flow_calls;
+              heuristic_cuts = 0;
+            }
+          in
+          match verdict with
+          | Cut_matching.Expander _ -> (None, stats)
+          | Cut_matching.Cut c ->
+              (split_along c.Cut_matching.side, stats))
+  end
+
+type task = { rev_path : int list; depth : int; vs : int list }
+
+type outcome = Accept | Drop | Split of int list list
+
+let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
+    ~epsilon =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Decomp_engine.decompose: need 0 < epsilon < 1";
+  Obs.Span.with_ "cm-decompose" @@ fun () ->
+  let n = Graph.n g in
+  let m = Graph.m g in
+  (* same thresholds as the spectral engine: the two must be comparable *)
+  let tau =
+    if m = 0 then epsilon
+    else epsilon /. (2. *. (log (float_of_int (2 * m)) /. log 2.))
+  in
+  let task_seed ~depth ~anchor ~sub_n =
+    Parallel.Pool.derive_seed params.seed
+      ((depth * 1_000_003) lxor (anchor * 8191) lxor sub_n)
+  in
+  let step t =
+    match t.vs with
+    | [] -> (Drop, zero_stats)
+    | [ _ ] -> (Accept, zero_stats)
+    | vs -> (
+        let sub, mapping = Graph_ops.induced_subgraph g vs in
+        (* a cut may disconnect the subgraph; re-split by components *)
+        match Traversal.component_list sub with
+        | [] -> (Drop, zero_stats)
+        | [ _ ] -> (
+            let seed =
+              task_seed ~depth:t.depth ~anchor:(List.hd vs)
+                ~sub_n:(Graph.n sub)
+            in
+            match try_split params sub mapping tau ~seed with
+            | None, st -> (Accept, st)
+            | Some (left, right), st -> (Split [ left; right ], st))
+        | many ->
+            ( Split
+                (List.map
+                   (fun comp -> List.map (fun v -> mapping.to_orig.(v)) comp)
+                   many),
+              zero_stats ))
+  in
+  let accepted = ref [] in
+  let stats = ref zero_stats in
+  let frontier =
+    ref
+      (List.mapi
+         (fun i vs -> { rev_path = [ i ]; depth = 0; vs })
+         (Traversal.component_list g))
+  in
+  let wave = ref 0 in
+  while !frontier <> [] do
+    Obs.Span.with_ (Printf.sprintf "level-%d" !wave) (fun () ->
+        let tasks = Array.of_list !frontier in
+        Obs.Metric.count "tasks" (Array.length tasks);
+        let outcomes = Parallel.Pool.map pool step tasks in
+        let next = ref [] in
+        Array.iteri
+          (fun i (outcome, st) ->
+            stats := add_stats !stats st;
+            let t = tasks.(i) in
+            match outcome with
+            | Accept ->
+                Obs.Metric.incr "accepted";
+                accepted := (List.rev t.rev_path, t.vs) :: !accepted
+            | Drop -> ()
+            | Split children ->
+                Obs.Metric.incr "split";
+                List.iteri
+                  (fun j vs ->
+                    next :=
+                      { rev_path = j :: t.rev_path; depth = t.depth + 1; vs }
+                      :: !next)
+                  children)
+          outcomes;
+        frontier := List.rev !next);
+    incr wave
+  done;
+  let accepted =
+    List.sort (fun (p1, _) (p2, _) -> compare (p1 : int list) p2) !accepted
+  in
+  let labels = Array.make n (-1) in
+  let next_label = ref 0 in
+  List.iter
+    (fun (_, vs) ->
+      let l = !next_label in
+      incr next_label;
+      List.iter (fun v -> labels.(v) <- l) vs)
+    accepted;
+  let inter_edges =
+    Graph.fold_edges g
+      (fun acc e u v -> if labels.(u) <> labels.(v) then e :: acc else acc)
+      []
+    |> List.rev
+  in
+  if Obs.enabled () then begin
+    Obs.Metric.count "clusters" !next_label;
+    Obs.Metric.count "inter_edges" (List.length inter_edges);
+    Obs.Metric.set_max "levels" !wave;
+    Obs.Metric.count "cm.games" !stats.games;
+    Obs.Metric.count "cm.heuristic_cuts" !stats.heuristic_cuts;
+    List.iter
+      (fun (_, vs) -> Obs.Metric.hist "cluster_size" (List.length vs))
+      accepted
+  end;
+  ( {
+      Spectral.Expander_decomposition.labels;
+      k = !next_label;
+      inter_edges;
+      epsilon;
+      phi = tau *. tau /. 4.;
+      tau;
+    },
+    !stats )

@@ -1,0 +1,36 @@
+(** Flow-based (epsilon, phi) expander decomposition.
+
+    The same frontier-wave recursion, task seeding, thresholds
+    ([tau = epsilon / (2 log2(2m))], [phi = tau^2 / 4]), and DFS pre-order
+    labels as {!Spectral.Expander_decomposition} — the result reuses that
+    record, so verification and everything downstream is shared — but each
+    cluster is judged by cheap cut heuristics ({!Cut_heuristics}) and then
+    the cut-matching game ({!Cut_matching}) instead of Fiedler sweeps.
+    Deterministic for every pool size. *)
+
+type params = {
+  game : Cut_matching.params;
+  exact_limit : int;
+      (** clusters up to this size are judged by exhaustive conductance
+          (default 14, matching the spectral engine) *)
+  seed : int;
+}
+
+val default_params : params
+
+type stats = {
+  games : int;           (** cut-matching games played *)
+  game_rounds : int;     (** rounds across all games *)
+  flow_calls : int;      (** bounded push-relabel runs *)
+  heuristic_cuts : int;  (** clusters split by a cheap heuristic, no game *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+(** [decompose ?params ?pool g ~epsilon] computes the decomposition and
+    the work statistics.
+    @raise Invalid_argument unless [0 < epsilon < 1]. *)
+val decompose :
+  ?params:params -> ?pool:Parallel.Pool.t -> Sparse_graph.Graph.t ->
+  epsilon:float -> Spectral.Expander_decomposition.t * stats

@@ -1,0 +1,27 @@
+(** Decompose a routed flow into source -> sink paths.
+
+    Every vertex with positive {!Net.divergence} originates that many
+    units; each walk follows positive-flow arcs to a vertex with negative
+    remaining divergence and subtracts the path's bottleneck. Flow cycles
+    are cancelled in place during the walk; circulations that touch no
+    source survive undisturbed (they connect no source-sink pair). The
+    walk order is deterministic, so the path list is a pure function of
+    the flow. *)
+
+type path = {
+  src : int;
+  dst : int;
+  amount : int;  (** units routed along this path *)
+  length : int;  (** arcs on the path; 0 never occurs ([src <> dst]) *)
+}
+
+type t = {
+  paths : path list;  (** ascending source order; walk order within one *)
+  total : int;        (** total units decomposed *)
+  max_length : int;
+}
+
+(** [decompose net] reads the flow currently held in [net] (which is not
+    mutated) and lists its source -> sink paths.
+    @raise Invalid_argument if the flow is not feasible (a walk sticks). *)
+val decompose : Net.t -> t

@@ -91,7 +91,7 @@ let sweep_cut g vector =
   List.iteri
     (fun i (v, _) -> if i < !best_prefix then side.(v) <- true)
     support;
-  { Sweep_cut.side; conductance = !best; lambda2 = nan }
+  { Sweep_cut.side; conductance = !best; lambda2 = None }
 
 let find g ~seed_vertex ~target_volume =
   let eps = 1. /. (10. *. float_of_int (max 1 target_volume)) in

@@ -3,7 +3,7 @@ open Sparse_graph
 type cut = {
   side : bool array;
   conductance : float;
-  lambda2 : float;
+  lambda2 : float option;
 }
 
 let fiedler g ~iters ~seed =
@@ -87,12 +87,12 @@ let sweep g embedding =
   for i = 0 to !best_prefix - 1 do
     side.(order.(i)) <- true
   done;
-  { side; conductance = !best; lambda2 = nan }
+  { side; conductance = !best; lambda2 = None }
 
 let best_cut g ~iters ~seed =
   let embedding, lambda2 = fiedler g ~iters ~seed in
   let cut = sweep g embedding in
-  { cut with lambda2 }
+  { cut with lambda2 = Some lambda2 }
 
 let bfs_sweep g =
   let n = Graph.n g in
@@ -197,7 +197,7 @@ let tree_cut g =
   if !best_root < 0 then invalid_arg "Sweep_cut.tree_cut: disconnected graph"
   else begin
     let side = Array.init n (fun v -> inside v !best_root) in
-    { side; conductance = !best_phi; lambda2 = nan }
+    { side; conductance = !best_phi; lambda2 = None }
   end
 
 let combined_cut g ~iters ~seed =
@@ -213,5 +213,6 @@ let combined_cut g ~iters ~seed =
 
 let certified_lower_bound cut =
   let from_sweep = cut.conductance *. cut.conductance /. 4. in
-  if Float.is_nan cut.lambda2 then from_sweep
-  else max from_sweep (cut.lambda2 /. 2.)
+  match cut.lambda2 with
+  | None -> from_sweep
+  | Some l2 -> max from_sweep (l2 /. 2.)

@@ -10,7 +10,11 @@
 type cut = {
   side : bool array;     (** membership mask of the smaller-volume side *)
   conductance : float;   (** conductance of this cut *)
-  lambda2 : float;       (** Rayleigh-quotient estimate of the spectral gap *)
+  lambda2 : float option;
+      (** Rayleigh-quotient estimate of the spectral gap, when the cut came
+          from a converged spectral embedding; [None] for cuts produced by
+          sweeps of non-spectral orders (BFS, tree, degree, projection), so
+          no NaN placeholder can leak into reports or benches *)
 }
 
 (** [fiedler g ~iters ~seed] returns the (approximate) second-eigenvector
@@ -21,7 +25,7 @@ val fiedler :
 
 (** [sweep g embedding] scans the vertices in embedding order and returns
     the prefix cut with minimum conductance. Requires [1 < n]. The
-    [lambda2] field is set to [nan] (unknown from the embedding alone). *)
+    [lambda2] field is [None] (unknown from the embedding alone). *)
 val sweep : Sparse_graph.Graph.t -> float array -> cut
 
 (** [best_cut g ~iters ~seed] combines {!fiedler} and {!sweep}. On a
@@ -31,14 +35,14 @@ val best_cut : Sparse_graph.Graph.t -> iters:int -> seed:int -> cut
 (** [bfs_sweep g] sweeps the BFS-distance order from a double-sweep
     endpoint: cheap, and finds the structural bottleneck exactly on paths,
     trees, and cycles, where power iteration converges slowly (the spectral
-    gap is tiny). [lambda2] is [nan]. *)
+    gap is tiny). [lambda2] is [None]. *)
 val bfs_sweep : Sparse_graph.Graph.t -> cut
 
 (** [tree_cut g] evaluates, for every edge of a DFS spanning tree, the cut
     that separates the subtree below it, and returns the best; exact on
     trees (where the optimum is a single-edge cut) and a useful candidate
     on tree-like graphs. Requires a connected graph with at least one
-    edge. [lambda2] is [nan]. *)
+    edge. [lambda2] is [None]. *)
 val tree_cut : Sparse_graph.Graph.t -> cut
 
 (** [combined_cut g ~iters ~seed] is the best of {!best_cut}, {!bfs_sweep},
@@ -46,6 +50,6 @@ val tree_cut : Sparse_graph.Graph.t -> cut
 val combined_cut : Sparse_graph.Graph.t -> iters:int -> seed:int -> cut
 
 (** [certified_lower_bound cut] is [max(lambda2 / 2, cut.conductance^2 / 4)]
-    when [lambda2] is finite, else [cut.conductance^2 / 4]: a lower bound on
+    when [lambda2] is [Some], else [cut.conductance^2 / 4]: a lower bound on
     [Phi(G)] valid when the embedding has converged (see module header). *)
 val certified_lower_bound : cut -> float

@@ -202,6 +202,48 @@ let test_sweep_tie_break_by_vertex_id () =
     [| false; true; false; false |]
     cut4.side
 
+(* Regression: lambda2 used to be a NaN placeholder on cuts that came
+   from non-spectral sweep orders (BFS, tree, PPR, plain sweep), and the
+   NaN leaked into certified lower bounds and reports. The field is now a
+   [float option]: [Some] only when a converged spectral embedding backs
+   the estimate. *)
+let test_lambda2_only_from_spectral_embeddings () =
+  let g = Generators.grid 4 4 in
+  (match (Sweep_cut.best_cut g ~iters:300 ~seed:12).lambda2 with
+  | Some l -> checkb "spectral cut reports its eigenvalue" true (l > 0. && l <= 2.)
+  | None -> Alcotest.fail "spectral cut must carry lambda2");
+  checkb "plain sweep has none" true
+    ((Sweep_cut.sweep g (Array.init 16 float_of_int)).lambda2 = None);
+  checkb "bfs sweep has none" true ((Sweep_cut.bfs_sweep g).lambda2 = None);
+  checkb "tree cut has none" true
+    ((Sweep_cut.tree_cut (Generators.random_tree 20 ~seed:13)).lambda2 = None);
+  let chain = Generators.blob_chain ~blobs:6 ~blob_size:12 ~seed:71 in
+  checkb "local PPR cut has none" true
+    ((Local_cluster.find chain ~seed_vertex:30 ~target_volume:70).lambda2 = None)
+
+let test_lambda2_lower_bound_branches () =
+  let mk lambda2 =
+    { Sweep_cut.side = [| true; false |]; conductance = 0.5; lambda2 }
+  in
+  checkf "None falls back to c^2/4" ~eps:1e-9 0.0625
+    (Sweep_cut.certified_lower_bound (mk None));
+  checkf "Some uses max(l/2, c^2/4)" ~eps:1e-9 0.2
+    (Sweep_cut.certified_lower_bound (mk (Some 0.4)));
+  checkf "small lambda2 loses to the sweep bound" ~eps:1e-9 0.0625
+    (Sweep_cut.certified_lower_bound (mk (Some 0.01)));
+  (* no producer can leak a non-finite bound *)
+  let g = Generators.barbell 6 1 in
+  List.iter
+    (fun (name, cut) ->
+      checkb (name ^ " bound is finite") true
+        (Float.is_finite (Sweep_cut.certified_lower_bound cut)))
+    [
+      ("bfs", Sweep_cut.bfs_sweep g);
+      ("tree", Sweep_cut.tree_cut g);
+      ("spectral", Sweep_cut.best_cut g ~iters:200 ~seed:14);
+      ("combined", Sweep_cut.combined_cut g ~iters:200 ~seed:14);
+    ]
+
 let test_bfs_sweep_path () =
   (* BFS sweep finds the middle cut of a path exactly *)
   let g = Generators.path 20 in
@@ -507,6 +549,9 @@ let () =
           tc "near-optimal on cycle" test_sweep_near_optimal_on_cycle;
           tc "certified lower bound sane" test_certified_lower_bound;
           tc "tie-break by vertex id" test_sweep_tie_break_by_vertex_id;
+          tc "lambda2 only from spectral embeddings"
+            test_lambda2_only_from_spectral_embeddings;
+          tc "lambda2 lower-bound branches" test_lambda2_lower_bound_branches;
           tc "bfs sweep on path" test_bfs_sweep_path;
           tc "tree cut exact on trees" test_tree_cut_exact_on_trees;
           tc "tree cut on augmented trees" test_tree_cut_with_extra_edges;
