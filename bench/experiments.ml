@@ -1377,3 +1377,245 @@ let decomp_bench () =
   in
   Obs.Export.write_file !decomp_out (Obs.Json.to_string_pretty doc);
   Printf.printf "[decomp-bench written to %s]\n" !decomp_out
+
+(* ------------------------------------------------------------------ *)
+(* route-bench: the expander-routing serving layer                     *)
+(* ------------------------------------------------------------------ *)
+
+let route_n = ref 16_384
+let route_demands = ref 1_000_000
+let route_out = ref "BENCH_route.json"
+
+let route_epsilon = 0.5
+
+(* rungs small enough to execute the planned paths on the simulator *)
+let route_congest_limit = 1_100
+
+(* hot-spot skew: this fraction of demands target one popular vertex *)
+let route_hot_fraction = 0.9
+
+let route_families seed =
+  [
+    ("grid", fun n -> Workloads.grid_of n);
+    ("planar", fun n -> Generators.random_apollonian (max 4 n) ~seed);
+  ]
+
+let route_demand_batch g ~pattern ~count ~seed =
+  let n = Graph.n g in
+  let st = Random.State.make [| seed; Hashtbl.hash pattern |] in
+  let hot = n / 2 in
+  Array.init count (fun _ ->
+      let src = Random.State.int st n in
+      let dst =
+        match pattern with
+        | "hotspot" when Random.State.float st 1.0 < route_hot_fraction -> hot
+        | _ -> Random.State.int st n
+      in
+      { Route.Service.src; dst; weight = 1 })
+
+let route_percentile_of sorted p =
+  let len = Array.length sorted in
+  if len = 0 then 0
+  else begin
+    let rank = ((len * p) + 99) / 100 in
+    sorted.(max 0 (min (len - 1) (rank - 1)))
+  end
+
+(* walk-router hot-spot allocation probe: every token converges on one
+   leader (a complete graph is the worst-case inbox), at load L and 2L;
+   linear receive-and-queue keeps minor words per token flat, the old
+   quadratic inbox merge roughly doubled them *)
+let route_walk_alloc_probe () =
+  let g = Generators.complete 48 in
+  let view = Distr.Cluster_view.whole g in
+  let leaders = Distr.Leader_election.run view ~rounds:2 in
+  let words_per_token load =
+    let before = Gc.minor_words () in
+    let r =
+      Distr.Walk_routing.run view
+        ~leader_of:leaders.Distr.Leader_election.leader_of
+        ~tokens_of:(fun _ -> load)
+        ~walk_len:64 ~seed:17 ~max_rounds:5000
+    in
+    let words = Gc.minor_words () -. before in
+    ignore r;
+    words /. float_of_int (load * Graph.n g)
+  in
+  let w1 = words_per_token 8 in
+  let w2 = words_per_token 16 in
+  (w1, w2, w2 /. Float.max 1e-9 w1)
+
+let route_bench () =
+  note "\n### route-bench: expander routing as a serving layer\n";
+  note "preprocess a witness hierarchy per decomposition, then serve\n";
+  note "random and hot-spot demand batches; epsilon = %.2f\n" route_epsilon;
+  let rungs =
+    let top = max 64 !route_n in
+    let candidates =
+      List.sort_uniq compare
+        (List.filter (fun x -> x >= 64) [ top / 16; top / 4; top ])
+    in
+    if candidates = [] then [ top ] else candidates
+  in
+  let top = List.fold_left max 0 rungs in
+  let configs eng =
+    match eng with
+    | Core.Pipeline.Cut_matching_engine -> [ true; false ]
+    | Core.Pipeline.Spectral_engine -> [ true ]
+  in
+  let bench_one fname g n eng reuse =
+    let ename = Core.Pipeline.engine_name eng in
+    let p =
+      Core.Pipeline.prepare ~mode:charged ~engine:eng ~pool:!pool g
+        ~epsilon:route_epsilon ~seed:20220711
+    in
+    let t0 = Obs.Clock.wall_s () in
+    let svc = Core.Pipeline.routing_service ~reuse ~seed:31 p in
+    let pre_s = Obs.Clock.wall_s () -. t0 in
+    let hinfo = Route.Hierarchy.info (Route.Service.hierarchy svc) in
+    let count =
+      if n = top then !route_demands
+      else max 20_000 (!route_demands / 50)
+    in
+    let serve_pattern pattern =
+      let ds = route_demand_batch g ~pattern ~count ~seed:(n + 5) in
+      let t0 = Obs.Clock.wall_s () in
+      let s = Route.Service.serve svc ds in
+      let secs = Obs.Clock.wall_s () -. t0 in
+      let dps = float_of_int s.Route.Service.demands /. Float.max 1e-9 secs in
+      ( s,
+        secs,
+        dps,
+        Obs.Json.Obj
+          [
+            ("pattern", Obs.Json.Str pattern);
+            ("demands", Obs.Json.Int s.Route.Service.demands);
+            ("delivered", Obs.Json.Int s.Route.Service.delivered);
+            ("failed", Obs.Json.Int s.Route.Service.failed);
+            ("fallbacks", Obs.Json.Int s.Route.Service.fallbacks);
+            ("rounds_p50", Obs.Json.Int s.Route.Service.rounds_p50);
+            ("rounds_p99", Obs.Json.Int s.Route.Service.rounds_p99);
+            ("rounds_max", Obs.Json.Int s.Route.Service.rounds_max);
+            ("congestion_max", Obs.Json.Int s.Route.Service.congestion_max);
+            ("congestion_total", Obs.Json.Int s.Route.Service.congestion_total);
+            ("seconds", Obs.Json.Float secs);
+            ("demands_per_sec", Obs.Json.Float dps);
+          ] )
+    in
+    let rand_s, _, rand_dps, rand_json = serve_pattern "random" in
+    let hot_s, _, hot_dps, hot_json = serve_pattern "hotspot" in
+    ignore hot_dps;
+    (* execute the plans on the sharded simulator where tractable and
+       check the deliveries against the planner *)
+    let congest_json =
+      if n > route_congest_limit then Obs.Json.Null
+      else begin
+        let cds =
+          route_demand_batch g ~pattern:"random" ~count:(min 2_000 count)
+            ~seed:(n + 9)
+        in
+        let shards = 4 in
+        let r =
+          Route.Service.serve_congest
+            ~exec:(Congest.Network.Sharded { shards; pool = !pool })
+            svc cds ~max_rounds:40_000
+        in
+        let arr =
+          Array.of_list
+            (List.filter (fun x -> x >= 0)
+               (Array.to_list
+                  (Array.map Fun.id
+                     r.Route.Service.routed.Distr.Witness_routing.rounds_of)))
+        in
+        Array.sort compare arr;
+        Obs.Json.Obj
+          [
+            ("demands", Obs.Json.Int (Array.length cds));
+            ("shards", Obs.Json.Int shards);
+            ( "rounds",
+              Obs.Json.Int
+                r.Route.Service.routed.Distr.Witness_routing.last_round );
+            ("rounds_p50", Obs.Json.Int (route_percentile_of arr 50));
+            ("rounds_p99", Obs.Json.Int (route_percentile_of arr 99));
+            ( "planner_match",
+              Obs.Json.Bool r.Route.Service.match_planner );
+          ]
+      end
+    in
+    let row =
+      [
+        fname; i n; ename;
+        (if reuse then "reuse" else "rebuild");
+        Printf.sprintf "%.3f" pre_s;
+        i hinfo.Route.Hierarchy.clusters;
+        i hinfo.Route.Hierarchy.shortcuts;
+        i hinfo.Route.Hierarchy.rebuilt_leaves;
+        i rand_s.Route.Service.rounds_p50;
+        i rand_s.Route.Service.rounds_p99;
+        i hot_s.Route.Service.congestion_max;
+        Printf.sprintf "%.0fk/s" (rand_dps /. 1e3);
+      ]
+    in
+    let json =
+      Obs.Json.Obj
+        [
+          ("family", Obs.Json.Str fname);
+          ("n", Obs.Json.Int n);
+          ("engine", Obs.Json.Str ename);
+          ("reuse", Obs.Json.Bool reuse);
+          ("preprocess_seconds", Obs.Json.Float pre_s);
+          ("clusters", Obs.Json.Int hinfo.Route.Hierarchy.clusters);
+          ("shortcuts", Obs.Json.Int hinfo.Route.Hierarchy.shortcuts);
+          ("rebuilt_leaves", Obs.Json.Int hinfo.Route.Hierarchy.rebuilt_leaves);
+          ("reused_leaves", Obs.Json.Int hinfo.Route.Hierarchy.reused_leaves);
+          ("tree_height", Obs.Json.Int hinfo.Route.Hierarchy.tree_height);
+          ("patterns", Obs.Json.List [ rand_json; hot_json ]);
+          ("congest", congest_json);
+        ]
+    in
+    (json, row)
+  in
+  let results =
+    List.concat_map
+      (fun (fname, gen) ->
+        List.concat_map
+          (fun n ->
+            let g = gen n in
+            List.concat_map
+              (fun eng ->
+                List.map
+                  (fun reuse -> bench_one fname g n eng reuse)
+                  (configs eng))
+              [ Core.Pipeline.Spectral_engine;
+                Core.Pipeline.Cut_matching_engine ])
+          rungs)
+      (route_families 20220711)
+  in
+  let w1, w2, ratio = route_walk_alloc_probe () in
+  note "walk-router hot-spot alloc: %.1f words/token at 1x, %.1f at 2x (ratio %.2f)\n"
+    w1 w2 ratio;
+  print_table ~title:"route-bench: witness-hierarchy serving"
+    ~header:
+      [ "family"; "n"; "engine"; "witness"; "pre(s)"; "k"; "shortcuts";
+        "rebuilt"; "p50"; "p99"; "hot cmax"; "rate" ]
+    (List.map snd results);
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "expander-route-bench");
+        ("version", Obs.Json.Int 1);
+        ("epsilon", Obs.Json.Float route_epsilon);
+        ("n", Obs.Json.Int !route_n);
+        ("demands", Obs.Json.Int !route_demands);
+        ("results", Obs.Json.List (List.map fst results));
+        ( "walk_router",
+          Obs.Json.Obj
+            [
+              ("words_per_token_1x", Obs.Json.Float w1);
+              ("words_per_token_2x", Obs.Json.Float w2);
+              ("alloc_ratio", Obs.Json.Float ratio);
+            ] );
+      ]
+  in
+  Obs.Export.write_file !route_out (Obs.Json.to_string_pretty doc);
+  Printf.printf "[route-bench written to %s]\n" !route_out

@@ -152,6 +152,7 @@ let experiments =
     ("fault-sweep", Experiments.fault_sweep);
     ("congest-bench", Experiments.congest_bench);
     ("decomp-bench", Experiments.decomp_bench);
+    ("route-bench", Experiments.route_bench);
     ("smoke", Experiments.smoke);
     ("timing", timing);
   ]
@@ -251,6 +252,25 @@ let () =
         | _ ->
             Printf.eprintf "--decomp-n expects an integer >= 4, got %S\n" v;
             exit 1)
+    | "--route-n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some x when x >= 4 ->
+            Experiments.route_n := x;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--route-n expects an integer >= 4, got %S\n" v;
+            exit 1)
+    | "--route-demands" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some x when x >= 1 ->
+            Experiments.route_demands := x;
+            parse_args acc jobs profile trace timings rest
+        | _ ->
+            Printf.eprintf "--route-demands expects a positive integer, got %S\n" v;
+            exit 1)
+    | "--route-out" :: p :: rest ->
+        Experiments.route_out := p;
+        parse_args acc jobs profile trace timings rest
     | "--decomp-out" :: p :: rest ->
         Experiments.decomp_out := p;
         parse_args acc jobs profile trace timings rest
@@ -277,7 +297,8 @@ let () =
     | [ (("--jobs" | "--profile" | "--trace" | "--timings" | "--fault-seed"
         | "--drop-rate" | "--congest-n" | "--congest-out" | "--shards"
         | "--congest-scale-max" | "--engine" | "--decomp-n"
-        | "--decomp-out") as flag) ] ->
+        | "--decomp-out" | "--route-n" | "--route-demands"
+        | "--route-out") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         exit 1
     | name :: rest -> parse_args (name :: acc) jobs profile trace timings rest

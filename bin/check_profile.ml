@@ -409,12 +409,165 @@ let check_decomp_bench path ~require_frontier =
          else "")
   | _ -> fail "%s: results is not a list" path
 
+(* allocation-linearity bound for the walk router's hot-spot probe:
+   doubling the token load must not grow minor words per token by more
+   than this factor (the old quadratic inbox merge roughly doubled it) *)
+let route_alloc_ratio_limit = 1.5
+
+let check_route_bench path =
+  let doc = parse path in
+  (match require path "schema" doc with
+  | Json.Str "expander-route-bench" -> ()
+  | Json.Str s ->
+      fail "%s: schema is %S, expected \"expander-route-bench\"" path s
+  | _ -> fail "%s: schema is not a string" path);
+  (match require path "version" doc with
+  | Json.Int 1 -> ()
+  | Json.Int v -> fail "%s: version is %d, expected 1" path v
+  | _ -> fail "%s: version is not an integer" path);
+  ignore (decomp_num path "doc" doc "epsilon");
+  (match require path "walk_router" doc with
+  | Json.Obj _ as w ->
+      ignore (decomp_num path "walk_router" w "words_per_token_1x");
+      ignore (decomp_num path "walk_router" w "words_per_token_2x");
+      let ratio = decomp_num path "walk_router" w "alloc_ratio" in
+      if ratio > route_alloc_ratio_limit then
+        fail
+          "%s: walk_router.alloc_ratio = %.2f > %.2f — per-token \
+           allocation grows with load (quadratic hot path?)"
+          path ratio route_alloc_ratio_limit
+  | _ -> fail "%s: walk_router missing or not an object" path);
+  match require path "results" doc with
+  | Json.List [] -> fail "%s: results is empty" path
+  | Json.List entries ->
+      (* (family, engine, reuse) -> last n seen, for ladder monotonicity *)
+      let last_n : (string * string * bool, int) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let congest_checked = ref 0 in
+      List.iteri
+        (fun idx e ->
+          let ctx = Printf.sprintf "results[%d]" idx in
+          let str name =
+            match member name e with
+            | Some (Json.Str s) -> s
+            | _ -> fail "%s: %s.%s missing or not a string" path ctx name
+          in
+          let family = str "family" in
+          let engine = str "engine" in
+          if engine <> "spectral" && engine <> "cutmatching" then
+            fail "%s: %s.engine is %S, expected spectral or cutmatching" path
+              ctx engine;
+          let reuse =
+            match member "reuse" e with
+            | Some (Json.Bool b) -> b
+            | _ -> fail "%s: %s.reuse missing or not a bool" path ctx
+          in
+          let n = int_of_float (decomp_num path ctx e "n") in
+          List.iter
+            (fun k -> ignore (decomp_num path ctx e k))
+            [ "preprocess_seconds"; "clusters"; "shortcuts"; "rebuilt_leaves";
+              "reused_leaves"; "tree_height" ];
+          (match member "patterns" e with
+          | Some (Json.List ps) when List.length ps = 2 ->
+              let seen_patterns = ref [] in
+              List.iter
+                (fun p ->
+                  let pctx = Printf.sprintf "%s.patterns" ctx in
+                  let pname =
+                    match member "pattern" p with
+                    | Some (Json.Str s) -> s
+                    | _ -> fail "%s: %s.pattern missing" path pctx
+                  in
+                  if List.mem pname !seen_patterns then
+                    fail "%s: %s: duplicate pattern %S" path pctx pname;
+                  seen_patterns := pname :: !seen_patterns;
+                  let num k = decomp_num path pctx p k in
+                  let demands = int_of_float (num "demands") in
+                  let delivered = int_of_float (num "delivered") in
+                  let failed = int_of_float (num "failed") in
+                  if delivered + failed <> demands then
+                    fail
+                      "%s: %s (%s): delivered %d + failed %d <> demands %d"
+                      path pctx pname delivered failed demands;
+                  if failed > 0 then
+                    fail
+                      "%s: %s (%s): %d unroutable demands on a connected \
+                       family"
+                      path pctx pname failed;
+                  let p50 = num "rounds_p50" in
+                  let p99 = num "rounds_p99" in
+                  let pmax = num "rounds_max" in
+                  if not (p50 <= p99 && p99 <= pmax) then
+                    fail
+                      "%s: %s (%s): percentiles not ordered (p50 %.0f, \
+                       p99 %.0f, max %.0f)"
+                      path pctx pname p50 p99 pmax;
+                  let cmax = num "congestion_max" in
+                  let ctot = num "congestion_total" in
+                  if cmax > ctot then
+                    fail
+                      "%s: %s (%s): congestion_max %.0f > total %.0f"
+                      path pctx pname cmax ctot;
+                  if num "demands_per_sec" <= 0. then
+                    fail "%s: %s (%s): demands_per_sec <= 0" path pctx pname)
+                ps;
+              List.iter
+                (fun want ->
+                  if not (List.mem want !seen_patterns) then
+                    fail "%s: %s: missing pattern %S" path ctx want)
+                [ "random"; "hotspot" ]
+          | _ -> fail "%s: %s.patterns must list both workloads" path ctx);
+          (match member "congest" e with
+          | Some Json.Null -> ()
+          | Some (Json.Obj _ as c) ->
+              incr congest_checked;
+              let cctx = Printf.sprintf "%s.congest" ctx in
+              let rounds = decomp_num path cctx c "rounds" in
+              let p50 = decomp_num path cctx c "rounds_p50" in
+              let p99 = decomp_num path cctx c "rounds_p99" in
+              if not (p50 <= p99 && p99 <= rounds) then
+                fail
+                  "%s: %s: completion rounds not ordered (p50 %.0f, p99 \
+                   %.0f, last %.0f)"
+                  path cctx p50 p99 rounds;
+              (match member "planner_match" c with
+              | Some (Json.Bool true) -> ()
+              | Some (Json.Bool false) ->
+                  fail
+                    "%s: %s.planner_match is false — the simulator \
+                     diverged from the planner"
+                    path cctx
+              | _ ->
+                  fail "%s: %s.planner_match missing or not a bool" path cctx)
+          | _ -> fail "%s: %s.congest missing (use null)" path ctx);
+          (match Hashtbl.find_opt last_n (family, engine, reuse) with
+          | Some prev when n <= prev ->
+              fail
+                "%s: %s: n = %d after n = %d for %s/%s/%s — ladder not \
+                 monotone"
+                path ctx n prev family engine
+                (if reuse then "reuse" else "rebuild")
+          | _ -> ());
+          Hashtbl.replace last_n (family, engine, reuse) n)
+        entries;
+      if !congest_checked = 0 then
+        fail
+          "%s: no entry executed its plans on the simulator — at least one \
+           rung must be small enough for the CONGEST side"
+          path;
+      Printf.printf
+        "%s: route-bench ok (%d entries, %d simulator-checked)\n" path
+        (List.length entries) !congest_checked
+  | _ -> fail "%s: results is not a list" path
+
 let usage () =
   prerr_endline
     "usage: check_profile.exe --schema PROFILE [--trace TRACE]\n\
     \       check_profile.exe --compare A B\n\
     \       check_profile.exe --congest-bench BENCH\n\
-    \       check_profile.exe --decomp-bench BENCH [--require-frontier]";
+    \       check_profile.exe --decomp-bench BENCH [--require-frontier]\n\
+    \       check_profile.exe --route-bench BENCH";
   exit 2
 
 let () =
@@ -436,6 +589,11 @@ let () =
          exit 1)
   | [ _; "--congest-bench"; bench ] ->
       (try check_congest_bench bench
+       with Bad msg ->
+         prerr_endline msg;
+         exit 1)
+  | [ _; "--route-bench"; bench ] ->
+      (try check_route_bench bench
        with Bad msg ->
          prerr_endline msg;
          exit 1)

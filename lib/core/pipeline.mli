@@ -81,6 +81,13 @@ val prepare :
     computation) and returns the per-cluster results. *)
 val solve_locally : t -> (cluster -> 'a) -> 'a array
 
+(** [routing_service ?reuse ?seed t] builds the expander-routing serving
+    layer ({!Route.Service}) over the prepared decomposition: a witness
+    hierarchy reusing the engines' retained cut-matching matchings
+    ([reuse], default [true]), answering batched demand matrices as a
+    planner or as a CONGEST workload. *)
+val routing_service : ?reuse:bool -> ?seed:int -> t -> Route.Service.t
+
 (** [broadcast_result t ~payload] simulates broadcasting one word from each
     leader over its cluster and returns the stats (Simulated mode); in
     Charged mode returns [None]. [payload] maps each leader to the value it

@@ -8,6 +8,10 @@
 type t = {
   graph : Sparse_graph.Graph.t;
   labels : int array;  (** vertex -> cluster id *)
+  intra : int array array;
+      (** cached CSR-aligned intra-cluster adjacency: [intra.(v)] lists
+          [v]'s same-cluster neighbors in ascending order. Built once by
+          {!whole} / {!of_labels}; treat as read-only. *)
 }
 
 (** View where the whole graph is one cluster. *)
@@ -16,7 +20,8 @@ val whole : Sparse_graph.Graph.t -> t
 (** View induced by an explicit labelling. *)
 val of_labels : Sparse_graph.Graph.t -> int array -> t
 
-(** Neighbors of [v] inside its own cluster (sorted). *)
+(** Neighbors of [v] inside its own cluster (sorted). Allocates a fresh
+    list per call — hot paths should index [t.intra] directly. *)
 val intra_neighbors : t -> int -> int list
 
 (** Degree of [v] counting only intra-cluster edges: [deg_Gi(v)]. *)

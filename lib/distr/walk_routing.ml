@@ -9,33 +9,64 @@ type token = {
 type result = {
   delivered : (int * token list) list;
   undelivered : int;
+  expired : int;
+  held : int;
   stats : Network.stats;
 }
 
-(* a token in flight, held by some vertex *)
+(* a token in flight, held by some vertex; steps is mutated in place so
+   the hot advance loop allocates nothing *)
 type flight = {
   tok : token;
-  steps : int;                (* lazy steps taken so far *)
-  pending : int option;       (* sampled move not yet transmitted *)
+  mutable steps : int;  (* lazy steps taken so far *)
 }
 
+(* Per-vertex state. [active] holds tokens that walk this round, oldest
+   first; receiving is Queue.add per incoming token, O(|incoming|) — the
+   old list-append merge re-walked the whole queue every round, O(q^2)
+   total on a hot-spot vertex. [waiting.(j)] parks tokens that sampled a
+   move to neighbor slot j (index into the cached intra row) until edge
+   capacity lets them transmit; the array replaces the per-round
+   [Hashtbl.create 4] send counter and is allocated once at init. *)
 type state = {
   rng : Random.State.t;
-  queue : flight list;
-  absorbed : token list;      (* tokens delivered to this vertex (leader) *)
-  dropped : int;
+  active : flight Queue.t;
+  waiting : flight Queue.t array;
+  mutable absorbed_rev : token list;  (* newest first; reversed on extract *)
+  mutable expired : int;              (* walk budget exhausted here *)
+  mutable holding : int;              (* tokens in [active] + [waiting] *)
 }
 
 let token_words = 3 (* origin, seq, step counter *)
 
-let run ?exec (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
+(* one walk step for every token currently active: pop, expire or sample
+   (stay -> back of [active], move -> the sampled neighbor's waiting
+   queue). Processes exactly [Queue.length active] tokens, so re-queued
+   stays are not double-stepped. Returns the number expired. *)
+(* lint: hot *)
+let advance_active st row walk_len =
+  let deg = Array.length row in
+  let expired = ref 0 in
+  let remaining = ref (Queue.length st.active) in
+  while !remaining > 0 do
+    decr remaining;
+    let fl = Queue.pop st.active in
+    if fl.steps >= walk_len then incr expired
+    else begin
+      fl.steps <- fl.steps + 1;
+      let stay = deg = 0 || Random.State.bool st.rng in
+      if stay then Queue.add fl st.active
+      else Queue.add fl st.waiting.(Random.State.int st.rng deg)
+    end
+  done;
+  !expired
+
+let run ?exec ?faults (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
     ~max_rounds =
   Obs.Span.with_ "distr.walk_routing" @@ fun () ->
   let g = view.graph in
   let n = Graph.n g in
-  let intra =
-    Array.init n (fun v -> Array.of_list (Cluster_view.intra_neighbors view v))
-  in
+  let intra = view.Cluster_view.intra in
   let budget =
     match Network.congest_bandwidth n with
     | Network.Congest b -> b
@@ -43,86 +74,103 @@ let run ?exec (view : Cluster_view.t) ~leader_of ~tokens_of ~walk_len ~seed
   in
   let token_bits = Bits.words n token_words in
   let capacity = max 1 (budget / token_bits) in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    total := !total + tokens_of v
+  done;
+  let total = !total in
   let init (ctx : Network.ctx) =
     let rng = Random.State.make [| seed; ctx.id; 7919 |] in
-    let own =
-      List.init (tokens_of ctx.id) (fun seq ->
-          { tok = { origin = ctx.id; seq }; steps = 0; pending = None })
+    let deg = Array.length intra.(ctx.id) in
+    let st =
+      {
+        rng;
+        active = Queue.create ();
+        waiting = Array.init deg (fun _ -> Queue.create ());
+        absorbed_rev = [];
+        expired = 0;
+        holding = 0;
+      }
     in
+    let k = tokens_of ctx.id in
     if leader_of.(ctx.id) = ctx.id then
-      (* the leader's own tokens are already delivered *)
-      { rng; queue = []; absorbed = List.map (fun f -> f.tok) own; dropped = 0 }
-    else { rng; queue = own; absorbed = []; dropped = 0 }
+      (* the leader's own tokens are already delivered; prepended in
+         ascending seq so the final reversal lists them in seq order *)
+      for seq = 0 to k - 1 do
+        st.absorbed_rev <- { origin = ctx.id; seq } :: st.absorbed_rev
+      done
+    else
+      for seq = 0 to k - 1 do
+        Queue.add { tok = { origin = ctx.id; seq }; steps = 0 } st.active;
+        st.holding <- st.holding + 1
+      done;
+    st
   in
   let round _r (ctx : Network.ctx) st inbox =
     let v = ctx.id in
-    (* receive tokens; leader absorbs *)
-    let incoming = List.map snd inbox in
-    let st =
-      if leader_of.(v) = v then
-        { st with absorbed = List.map (fun f -> f.tok) incoming @ st.absorbed }
-      else { st with queue = st.queue @ incoming }
-    in
-    (* advance each queued token by sampling a lazy step if none pending *)
-    let advance (fl : flight) (keep, drop) =
-      match fl.pending with
-      | Some _ -> (fl :: keep, drop)
-      | None ->
-          if fl.steps >= walk_len then (keep, drop + 1)
-          else begin
-            let deg = Array.length intra.(v) in
-            let stay = deg = 0 || Random.State.bool st.rng in
-            if stay then
-              (* lazy self-loop: a step with no transmission *)
-              ({ fl with steps = fl.steps + 1 } :: keep, drop)
-            else begin
-              let w = intra.(v).(Random.State.int st.rng deg) in
-              ({ fl with steps = fl.steps + 1; pending = Some w } :: keep, drop)
-            end
-          end
-    in
-    let queue, newly_dropped = List.fold_right advance st.queue ([], 0) in
-    (* transmit pending tokens, at most [capacity] per neighbor per round *)
-    let sent_count = Hashtbl.create 4 in
+    (* receive tokens in inbox (sender-ascending) order; leader absorbs *)
+    if leader_of.(v) = v then
+      List.iter
+        (fun (_, fl) -> st.absorbed_rev <- fl.tok :: st.absorbed_rev)
+        inbox
+    else
+      List.iter
+        (fun (_, fl) ->
+          Queue.add fl st.active;
+          st.holding <- st.holding + 1)
+        inbox;
+    (* advance each active token by one sampled lazy step *)
+    let expired = advance_active st intra.(v) walk_len in
+    st.expired <- st.expired + expired;
+    st.holding <- st.holding - expired;
+    (* transmit waiting tokens, at most [capacity] per neighbor per round;
+       the send list itself is the simulator's API boundary and the only
+       per-round allocation left. Built by descending slot so the list
+       comes out ascending. *)
     let send = ref [] in
-    let still = ref [] in
-    List.iter
-      (fun fl ->
-        match fl.pending with
-        | Some w ->
-            let c = try Hashtbl.find sent_count w with Not_found -> 0 in
-            if c < capacity then begin
-              Hashtbl.replace sent_count w (c + 1);
-              send := (w, { fl with pending = None }) :: !send
-            end
-            else still := fl :: !still
-        | None ->
-            (* stayed this round; keep walking next round *)
-            still := fl :: !still)
-      queue;
-    let st =
-      { st with queue = List.rev !still; dropped = st.dropped + newly_dropped }
-    in
+    for j = Array.length intra.(v) - 1 downto 0 do
+      let q = st.waiting.(j) in
+      let k = min capacity (Queue.length q) in
+      for _ = 1 to k do
+        send := (intra.(v).(j), Queue.pop q) :: !send
+      done;
+      st.holding <- st.holding - k
+    done;
     (* event-driven: a vertex holding tokens keeps walking (and drawing
-       from its RNG) every round; an empty queue sleeps until a token
+       from its RNG) every round; an empty vertex sleeps until a token
        arrives *)
     Network.step st ~send:!send
-      ?wake_after:(if st.queue <> [] then Some 1 else None)
+      ?wake_after:(if st.holding > 0 then Some 1 else None)
   in
   let states, stats =
-    Network.run ?exec g ~schedule:Network.Event_driven
+    Network.run ?exec ?faults g ~schedule:Network.Event_driven
       ~bandwidth:(Network.congest_bandwidth n)
       ~msg_bits:(fun _ -> token_bits)
       ~init ~round ~max_rounds
   in
   let delivered = ref [] in
-  let undelivered = ref 0 in
+  let got = ref 0 in
+  let expired = ref 0 in
+  let held = ref 0 in
   Array.iteri
     (fun v st ->
-      if st.absorbed <> [] then delivered := (v, st.absorbed) :: !delivered;
-      undelivered := !undelivered + st.dropped + List.length st.queue)
+      if st.absorbed_rev <> [] then begin
+        let toks = List.rev st.absorbed_rev in
+        got := !got + List.length toks;
+        delivered := (v, toks) :: !delivered
+      end;
+      expired := !expired + st.expired;
+      held := !held + st.holding)
     states;
-  { delivered = List.rev !delivered; undelivered = !undelivered; stats }
+  {
+    delivered = List.rev !delivered;
+    (* counted against the originated total, so tokens lost to faults or
+       in flight at the halting round are still accounted for *)
+    undelivered = total - !got;
+    expired = !expired;
+    held = !held;
+    stats;
+  }
 
 let total_tokens (view : Cluster_view.t) ~tokens_of =
   let total = ref 0 in

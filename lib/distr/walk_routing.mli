@@ -21,9 +21,15 @@ type token = {
 
 type result = {
   delivered : (int * token list) list;
-      (** per leader: tokens it absorbed *)
+      (** per leader: tokens it absorbed, own tokens first then arrival
+          order (pinned by a regression test) *)
   undelivered : int;
-      (** tokens dropped (walk budget exhausted) or still in flight *)
+      (** tokens not delivered, counted against the originated total so
+          that [delivered + undelivered = total] holds even when tokens
+          are lost to faults or cut off in flight at [max_rounds]:
+          [undelivered = expired + held + lost-in-transit] *)
+  expired : int;  (** tokens whose [walk_len] budget ran out *)
+  held : int;     (** tokens still queued at some vertex when the run ended *)
   stats : Congest.Network.stats;
 }
 
@@ -35,6 +41,7 @@ type result = {
     flight or at [max_rounds]. *)
 val run :
   ?exec:Congest.Network.exec ->
+  ?faults:Congest.Faults.t ->
   Cluster_view.t ->
   leader_of:int array ->
   tokens_of:(int -> int) ->

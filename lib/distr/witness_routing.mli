@@ -1,0 +1,48 @@
+(** Source-routed execution of pre-planned demand paths: the
+    [route_via_witness] counterpart to {!Walk_routing} (lazy random
+    walks, Lemma 2.4) and {!Tree_routing} (BFS-tree convergecast).
+
+    The expander-routing planner ([lib/route]) turns each demand into a
+    concrete vertex path along the witness hierarchy; this module ships
+    one token per demand along its path on the CONGEST simulator,
+    forwarding at most [capacity = bandwidth / token_bits] tokens per
+    edge per round and parking the excess in per-neighbor queues. It
+    draws no randomness, so at any shards × jobs point (and under a
+    fixed fault seed) the outcome is a pure function of the plans —
+    planner and simulator deliver the same multiset of demands. *)
+
+type result = {
+  delivered : (int * int list) list;
+      (** per destination vertex: demand ids absorbed, arrival order *)
+  undelivered : int;
+      (** demands not delivered, counted against the total so that
+          [delivered + undelivered = demands] holds even when tokens are
+          lost to faults or cut off in flight at [max_rounds] *)
+  held : int;  (** tokens still parked at some vertex when the run ended *)
+  last_round : int;
+      (** round of the final delivery; the event-driven simulator
+          fast-forwards idle rounds, so [stats.rounds] reports the halting
+          bound, not completion *)
+  rounds_of : int array;
+      (** per demand: the round its token reached the destination, 0 for
+          a self-demand absorbed at init, or -1 if undelivered *)
+  stats : Congest.Network.stats;
+}
+
+(** [run ?exec ?faults g ~plans ~max_rounds] routes one token per plan.
+    [plans.(d)] is demand [d]'s vertex path — source first, destination
+    last; consecutive entries must be edges of [g] (a length-1 plan is a
+    self-demand, delivered at init).
+    @raise Invalid_argument on an empty plan or a non-edge step. *)
+val run :
+  ?exec:Congest.Network.exec ->
+  ?faults:Congest.Faults.t ->
+  Sparse_graph.Graph.t ->
+  plans:int array array ->
+  max_rounds:int ->
+  result
+
+(** Every demand is delivered at most once, at its plan's destination,
+    and [delivered + undelivered = demands]. (Duplication faults break
+    the at-most-once premise; drive this with drops/crashes only.) *)
+val check : plans:int array array -> result -> bool

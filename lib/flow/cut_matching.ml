@@ -38,6 +38,9 @@ let default =
 type witness = {
   rounds : int;            (* rounds actually played *)
   matchings : (int * int) array list;  (* newest first, one per routed round *)
+  embeddings : int array array list;
+      (* aligned with [matchings]: embeddings.(r).(i) is the real vertex
+         path routing pair matchings.(r).(i), src first, dst last *)
   congestion : int;        (* per-edge capacity all matchings routed under *)
   max_path_length : int;   (* dilation over every embedded matching path *)
   potential : float;       (* final / initial projection variance *)
@@ -50,8 +53,8 @@ type verdict = Expander of witness | Cut of cut
 type stats = { rounds_played : int; flow_calls : int }
 
 let trivial_witness =
-  { rounds = 0; matchings = []; congestion = 0; max_path_length = 0;
-    potential = 0. }
+  { rounds = 0; matchings = []; embeddings = []; congestion = 0;
+    max_path_length = 0; potential = 0. }
 
 (* mean-centered variance of a projection vector *)
 let potential_of vecs =
@@ -97,6 +100,7 @@ let run ?(params = default) g ~tau ~seed =
     let supply = Array.make n 0 in
     let sink_cap = Array.make n 0 in
     let matchings = ref [] in
+    let embeddings = ref [] in
     let max_path_length = ref 0 in
     let verdict = ref None in
     let round = ref 0 in
@@ -148,6 +152,12 @@ let run ?(params = default) g ~tau ~seed =
                  dec.Path_decompose.paths)
           in
           matchings := pairs :: !matchings;
+          embeddings :=
+            Array.of_list
+              (List.map
+                 (fun p -> p.Path_decompose.vertices)
+                 dec.Path_decompose.paths)
+            :: !embeddings;
           Array.iter
             (fun x ->
               Array.iter
@@ -163,6 +173,7 @@ let run ?(params = default) g ~tau ~seed =
                 (Expander
                    { rounds = !round + 1;
                      matchings = !matchings;
+                     embeddings = !embeddings;
                      congestion = cap;
                      max_path_length = !max_path_length;
                      potential = potential_of vecs /. p0 })
@@ -196,6 +207,7 @@ let run ?(params = default) g ~tau ~seed =
           Expander
             { rounds = !round;
               matchings = !matchings;
+              embeddings = !embeddings;
               congestion = cap;
               max_path_length = !max_path_length;
               potential = potential_of vecs /. p0 }

@@ -30,6 +30,10 @@ val default : params
 type witness = {
   rounds : int;
   matchings : (int * int) array list;  (** newest first, one per routed round *)
+  embeddings : int array array list;
+      (** aligned with [matchings]: [embeddings.(r).(i)] is the vertex
+          sequence (src first, dst last, real edges between consecutive
+          entries) along which pair [matchings.(r).(i)] embeds *)
   congestion : int;
   max_path_length : int;
   potential : float;  (** final / initial projection variance *)

@@ -35,17 +35,50 @@ let add_stats a b =
     heuristic_cuts = a.heuristic_cuts + b.heuristic_cuts;
   }
 
-(* Judge one cluster (induced subgraph): [None] accepts it, [Some (l, r)]
-   splits it (original-vertex ids). Mirrors the spectral splitter's
-   structure; the seed must be a pure function of the cluster identity. *)
+(* Acceptance evidence carried back from [try_split] (original vertex
+   ids): the routed matchings with their embedded paths, the embedding's
+   congestion/dilation bounds, and which judge accepted the cluster. *)
+type accept_evidence = {
+  ev_matchings : ((int * int) array * int array array) list;
+  ev_congestion : int;
+  ev_dilation : int;
+  ev_source : string;
+}
+
+let plain_evidence source =
+  { ev_matchings = []; ev_congestion = 0; ev_dilation = 0; ev_source = source }
+
+(* map a game witness played on the induced subgraph back to original ids *)
+let evidence_of_witness (mapping : Graph_ops.mapping)
+    (w : Cut_matching.witness) =
+  let o v = mapping.to_orig.(v) in
+  let ev_matchings =
+    List.map2
+      (fun pairs embeds ->
+        ( Array.map (fun (a, b) -> (o a, o b)) pairs,
+          Array.map (Array.map o) embeds ))
+      w.Cut_matching.matchings w.Cut_matching.embeddings
+  in
+  {
+    ev_matchings;
+    ev_congestion = w.Cut_matching.congestion;
+    ev_dilation = w.Cut_matching.max_path_length;
+    ev_source = (if ev_matchings = [] then "trivial" else "cutmatching");
+  }
+
+(* Judge one cluster (induced subgraph): [None] accepts it (with the
+   acceptance evidence), [Some (l, r)] splits it (original-vertex ids).
+   Mirrors the spectral splitter's structure; the seed must be a pure
+   function of the cluster identity. *)
 let try_split params sub (mapping : Graph_ops.mapping) tau ~seed =
   let n = Graph.n sub in
-  if n < 2 then (None, zero_stats)
+  if n < 2 then (None, plain_evidence "trivial", zero_stats)
   else if Graph.m sub = 0 then
     (* split isolated vertices off one at a time *)
     ( Some
         ( [ mapping.to_orig.(0) ],
           List.init (n - 1) (fun i -> mapping.to_orig.(i + 1)) ),
+      plain_evidence "trivial",
       zero_stats )
   else begin
     let split_along side =
@@ -58,14 +91,15 @@ let try_split params sub (mapping : Graph_ops.mapping) tau ~seed =
     in
     if n <= params.exact_limit then begin
       let phi_exact, side = Spectral.Conductance.exact_cut sub in
-      if phi_exact >= tau then (None, zero_stats)
-      else (split_along side, zero_stats)
+      if phi_exact >= tau then (None, plain_evidence "exact", zero_stats)
+      else (split_along side, plain_evidence "exact", zero_stats)
     end
     else
       match Cut_heuristics.cheapest sub ~tau with
       | Some hit ->
-          (split_along hit.Cut_heuristics.side,
-           { zero_stats with heuristic_cuts = 1 })
+          ( split_along hit.Cut_heuristics.side,
+            plain_evidence "heuristic",
+            { zero_stats with heuristic_cuts = 1 } )
       | None -> (
           let verdict, g_stats =
             Cut_matching.run ~params:params.game sub ~tau ~seed
@@ -79,14 +113,15 @@ let try_split params sub (mapping : Graph_ops.mapping) tau ~seed =
             }
           in
           match verdict with
-          | Cut_matching.Expander _ -> (None, stats)
+          | Cut_matching.Expander w ->
+              (None, evidence_of_witness mapping w, stats)
           | Cut_matching.Cut c ->
-              (split_along c.Cut_matching.side, stats))
+              (split_along c.Cut_matching.side, plain_evidence "cut", stats))
   end
 
 type task = { rev_path : int list; depth : int; vs : int list }
 
-type outcome = Accept | Drop | Split of int list list
+type outcome = Accept of accept_evidence | Drop | Split of int list list
 
 let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
     ~epsilon =
@@ -107,7 +142,7 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
   let step t =
     match t.vs with
     | [] -> (Drop, zero_stats)
-    | [ _ ] -> (Accept, zero_stats)
+    | [ _ ] -> (Accept (plain_evidence "trivial"), zero_stats)
     | vs -> (
         let sub, mapping = Graph_ops.induced_subgraph g vs in
         (* a cut may disconnect the subgraph; re-split by components *)
@@ -119,8 +154,8 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
                 ~sub_n:(Graph.n sub)
             in
             match try_split params sub mapping tau ~seed with
-            | None, st -> (Accept, st)
-            | Some (left, right), st -> (Split [ left; right ], st))
+            | None, ev, st -> (Accept ev, st)
+            | Some (left, right), _, st -> (Split [ left; right ], st))
         | many ->
             ( Split
                 (List.map
@@ -148,9 +183,9 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
             stats := add_stats !stats st;
             let t = tasks.(i) in
             match outcome with
-            | Accept ->
+            | Accept ev ->
                 Obs.Metric.incr "accepted";
-                accepted := (List.rev t.rev_path, t.vs) :: !accepted
+                accepted := (List.rev t.rev_path, t.vs, ev) :: !accepted
             | Drop -> ()
             | Split children ->
                 Obs.Metric.incr "split";
@@ -165,12 +200,13 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
     incr wave
   done;
   let accepted =
-    List.sort (fun (p1, _) (p2, _) -> compare (p1 : int list) p2) !accepted
+    List.sort (fun (p1, _, _) (p2, _, _) -> compare (p1 : int list) p2)
+      !accepted
   in
   let labels = Array.make n (-1) in
   let next_label = ref 0 in
   List.iter
-    (fun (_, vs) ->
+    (fun (_, vs, _) ->
       let l = !next_label in
       incr next_label;
       List.iter (fun v -> labels.(v) <- l) vs)
@@ -188,9 +224,22 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
     Obs.Metric.count "cm.games" !stats.games;
     Obs.Metric.count "cm.heuristic_cuts" !stats.heuristic_cuts;
     List.iter
-      (fun (_, vs) -> Obs.Metric.hist "cluster_size" (List.length vs))
+      (fun (_, vs, _) -> Obs.Metric.hist "cluster_size" (List.length vs))
       accepted
   end;
+  let witnesses =
+    Array.of_list
+      (List.map
+         (fun (path, _, ev) ->
+           {
+             Spectral.Expander_decomposition.w_path = path;
+             w_matchings = ev.ev_matchings;
+             w_congestion = ev.ev_congestion;
+             w_dilation = ev.ev_dilation;
+             w_source = ev.ev_source;
+           })
+         accepted)
+  in
   ( {
       Spectral.Expander_decomposition.labels;
       k = !next_label;
@@ -198,5 +247,6 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
       epsilon;
       phi = tau *. tau /. 4.;
       tau;
+      witnesses;
     },
     !stats )

@@ -15,6 +15,7 @@ type path = {
   dst : int;
   amount : int;
   length : int;  (* arcs on the emitted path *)
+  vertices : int array;  (* the walked vertices, src first, dst last *)
 }
 
 type t = {
@@ -133,7 +134,15 @@ let decompose net =
       w.div_rem.(t) <- w.div_rem.(t) + amt;
       total := !total + amt;
       if w.top > !max_len then max_len := w.top;
-      paths := { src = s; dst = t; amount = amt; length = w.top } :: !paths;
+      paths :=
+        {
+          src = s;
+          dst = t;
+          amount = amt;
+          length = w.top;
+          vertices = Array.sub w.path_vtx 0 (w.top + 1);
+        }
+        :: !paths;
       for i = 0 to w.top do
         w.path_pos.(w.path_vtx.(i)) <- -1
       done

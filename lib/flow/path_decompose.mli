@@ -13,6 +13,10 @@ type path = {
   dst : int;
   amount : int;  (** units routed along this path *)
   length : int;  (** arcs on the path; 0 never occurs ([src <> dst]) *)
+  vertices : int array;
+      (** the walked vertex sequence: [vertices.(0) = src],
+          [vertices.(length) = dst]. Retained so callers can embed the
+          path back into the host graph (expander-routing witnesses). *)
 }
 
 type t = {

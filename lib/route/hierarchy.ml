@@ -1,0 +1,582 @@
+open Sparse_graph
+
+(* The reusable witness hierarchy behind expander routing (the shape of a
+   hierarchical LeafWitness / InternalWitness route). Preprocessing turns
+   one expander decomposition into:
+
+   - a *leaf witness* per cluster: a BFS tree rooted at the cluster's
+     leader over the witness graph = intra-cluster edges plus the
+     cut-matching game's embedded matchings as shortcut edges (each
+     shortcut expands to its retained real-edge path when routed). When
+     the decomposition retained no matchings (spectral engine, exact or
+     trivial acceptances) and the cluster is large enough, a fresh
+     cut-matching game is played here instead — the reuse-vs-rebuild
+     axis route-bench measures.
+
+   - an *internal witness* per recursion-tree node: the inter-cluster
+     edges whose endpoints diverge at that node, bucketed per ordered
+     child pair as portal edges with a round-robin cursor, plus the
+     node's child-connectivity graph for multi-hop child sequences.
+
+   Serving routes a demand (src, dst) top-down: descend the recursion
+   tree along the common prefix of the two clusters' addresses, walk a
+   child sequence at the divergence node crossing one portal edge per
+   hop, and solve intra-cluster legs in the leaf witness by an LCA walk
+   of the BFS tree, expanding shortcuts to their embedded real paths.
+   Everything is deterministic: adjacency orders are fixed, portals
+   rotate round-robin in demand order, and rebuild games are seeded via
+   Pool.derive_seed. *)
+
+(* ---- growable int vector (the planner's path accumulator) ---- *)
+
+type vec = { mutable buf : int array; mutable len : int }
+
+let vec_create () = { buf = Array.make 64 0; len = 0 }
+
+let vec_clear v = v.len <- 0
+
+let vec_push v x =
+  if v.len = Array.length v.buf then begin
+    let b = Array.make (2 * v.len) 0 in
+    Array.blit v.buf 0 b 0 v.len;
+    v.buf <- b
+  end;
+  v.buf.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_to_array v = Array.sub v.buf 0 v.len
+
+(* ---- leaf witnesses ---- *)
+
+(* adjacency entry in one cluster's witness graph: neighbor member index,
+   the embedded real-edge path ([||] = a direct intra edge), and whether
+   that path is oriented self -> neighbor *)
+type ledge = { nbr : int; lpath : int array; lfwd : bool }
+
+type leaf = {
+  members : int array;  (* ascending vertex ids *)
+  leader : int;         (* vertex id of the BFS root *)
+  parent : int array;   (* member idx -> member idx, -1 for root/unreached *)
+  depth : int array;    (* -1 = unreached in the witness graph *)
+  up_path : int array array;  (* real path to parent; [||] = direct edge *)
+  up_fwd : bool array;        (* is up_path oriented self -> parent? *)
+  shortcuts : int;      (* matching shortcut edges in the witness graph *)
+  rebuilt : bool;       (* a fresh cut-matching game was played here *)
+}
+
+(* ---- internal witnesses (recursion-tree nodes) ---- *)
+
+type bucket = {
+  mutable ports : (int * int) array;  (* oriented inter-cluster edges *)
+  mutable cursor : int;               (* round-robin position *)
+  mutable tmp : (int * int) list;     (* build-time accumulator *)
+}
+
+type node = {
+  nd_depth : int;
+  ranks : int array;        (* sorted child ranks (recursion child ids) *)
+  children : node array;    (* aligned with [ranks] *)
+  cluster : int;            (* leaf: the cluster label; internal: -1 *)
+  buckets : (int, bucket) Hashtbl.t;
+      (* (dense child i) * nc + (dense child j) -> portals from i to j *)
+  mutable child_adj : int array array;  (* dense idx -> adjacent dense idxs *)
+  child_seq : (int, int array) Hashtbl.t;  (* memoized BFS sequences *)
+}
+
+type t = {
+  g : Graph.t;
+  labels : int array;
+  paths : int array array;  (* cluster label -> recursion-tree address *)
+  pos_of : int array;       (* vertex -> index among its cluster's members *)
+  leaves : leaf array;
+  root : node;
+  chain : vec;              (* scratch: LCA descent on the y side *)
+  fb_pred : int array;      (* scratch: global-BFS fallback predecessors *)
+  fb_queue : int array;
+  mutable fallbacks : int;  (* legs that left the witness structures *)
+}
+
+let rebuild_min = 9  (* clusters below this size keep the plain BFS tree *)
+
+let build_leaf g (view : Distr.Cluster_view.t) ~tau ~reuse ~seed ~label
+    (dw : Spectral.Expander_decomposition.cluster_witness) ~members ~pos_of =
+  let sz = Array.length members in
+  let adj = Array.make sz [] in
+  (* intra edges first, via the view's cached CSR rows *)
+  for i = 0 to sz - 1 do
+    Array.iter
+      (fun w ->
+        adj.(i) <- { nbr = pos_of.(w); lpath = [||]; lfwd = true } :: adj.(i))
+      view.Distr.Cluster_view.intra.(members.(i))
+  done;
+  (* matching shortcuts: reuse the retained witness, or rebuild by
+     playing a fresh game on the induced cluster *)
+  let matchings, rebuilt =
+    if reuse && dw.Spectral.Expander_decomposition.w_matchings <> [] then
+      (dw.Spectral.Expander_decomposition.w_matchings, false)
+    else if sz >= rebuild_min then begin
+      let sub, mapping = Graph_ops.induced_subgraph g (Array.to_list members) in
+      if Graph.m sub = 0 then ([], false)
+      else begin
+        let game_tau = if tau > 0. then tau else 0.1 in
+        let verdict, _ =
+          Flow.Cut_matching.run sub ~tau:game_tau
+            ~seed:(Parallel.Pool.derive_seed seed (label + 1))
+        in
+        match verdict with
+        | Flow.Cut_matching.Expander w ->
+            let o v = mapping.Graph_ops.to_orig.(v) in
+            ( List.map2
+                (fun pairs embeds ->
+                  ( Array.map (fun (a, b) -> (o a, o b)) pairs,
+                    Array.map (Array.map o) embeds ))
+                w.Flow.Cut_matching.matchings w.Flow.Cut_matching.embeddings,
+              true )
+        | Flow.Cut_matching.Cut _ -> ([], true)
+      end
+    end
+    else ([], false)
+  in
+  let shortcuts = ref 0 in
+  List.iter
+    (fun (pairs, embeds) ->
+      Array.iteri
+        (fun idx (a, b) ->
+          let p = embeds.(idx) in
+          if Array.length p >= 2 then begin
+            incr shortcuts;
+            let ia = pos_of.(a) and ib = pos_of.(b) in
+            adj.(ia) <- { nbr = ib; lpath = p; lfwd = true } :: adj.(ia);
+            adj.(ib) <- { nbr = ia; lpath = p; lfwd = false } :: adj.(ib)
+          end)
+        pairs)
+    matchings;
+  (* entries were prepended: reverse so BFS scans intra edges (ascending)
+     first, then shortcuts in matching order *)
+  let adj = Array.map List.rev adj in
+  (* leader = max intra-degree member, smallest id among ties *)
+  let leader = ref members.(0) in
+  let best = ref (-1) in
+  Array.iter
+    (fun v ->
+      let d = Array.length view.Distr.Cluster_view.intra.(v) in
+      if d > !best then begin
+        best := d;
+        leader := v
+      end)
+    members;
+  let leader = !leader in
+  (* BFS over the witness graph from the leader *)
+  let parent = Array.make sz (-1) in
+  let depth = Array.make sz (-1) in
+  let up_path = Array.make sz [||] in
+  let up_fwd = Array.make sz true in
+  let queue = Array.make sz 0 in
+  let head = ref 0 and tail = ref 0 in
+  let rootm = pos_of.(leader) in
+  depth.(rootm) <- 0;
+  queue.(!tail) <- rootm;
+  incr tail;
+  while !head < !tail do
+    let i = queue.(!head) in
+    incr head;
+    List.iter
+      (fun e ->
+        if depth.(e.nbr) < 0 then begin
+          depth.(e.nbr) <- depth.(i) + 1;
+          parent.(e.nbr) <- i;
+          up_path.(e.nbr) <- e.lpath;
+          (* the entry path is oriented i -> nbr iff [e.lfwd]; the
+             child's up path runs nbr -> i, so the flag flips *)
+          up_fwd.(e.nbr) <- not e.lfwd;
+          queue.(!tail) <- e.nbr;
+          incr tail
+        end)
+      adj.(i)
+  done;
+  { members; leader; parent; depth; up_path; up_fwd;
+    shortcuts = !shortcuts; rebuilt }
+
+(* ---- recursion tree ---- *)
+
+let rec build_node paths ~depth (labels : int list) =
+  match labels with
+  | [ l ] when Array.length paths.(l) = depth ->
+      {
+        nd_depth = depth;
+        ranks = [||];
+        children = [||];
+        cluster = l;
+        buckets = Hashtbl.create 1;
+        child_adj = [||];
+        child_seq = Hashtbl.create 1;
+      }
+  | _ ->
+      (* group by the rank at [depth]; labels arrive in lex path order,
+         so each group is a consecutive run *)
+      let groups = ref [] in
+      List.iter
+        (fun l ->
+          let r = paths.(l).(depth) in
+          match !groups with
+          | (r', ls) :: rest when r' = r -> groups := (r', l :: ls) :: rest
+          | _ -> groups := (r, [ l ]) :: !groups)
+        labels;
+      let groups = List.rev_map (fun (r, ls) -> (r, List.rev ls)) !groups in
+      {
+        nd_depth = depth;
+        ranks = Array.of_list (List.map fst groups);
+        children =
+          Array.of_list
+            (List.map
+               (fun (_, ls) -> build_node paths ~depth:(depth + 1) ls)
+               groups);
+        cluster = -1;
+        buckets = Hashtbl.create 8;
+        child_adj = [||];
+        child_seq = Hashtbl.create 8;
+      }
+
+(* dense index of child rank [rank] in [node.ranks], by binary search *)
+let dense_idx node rank =
+  let lo = ref 0 and hi = ref (Array.length node.ranks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if node.ranks.(mid) < rank then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* distribute the inter-cluster edges into portal buckets at each
+   endpoint pair's divergence node, then freeze bucket port order (edge
+   enumeration order) and derive each node's child adjacency *)
+let fill_buckets root paths labels g inter_edges =
+  List.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      let pu = paths.(labels.(u)) and pv = paths.(labels.(v)) in
+      let nd = ref root in
+      while pu.((!nd).nd_depth) = pv.((!nd).nd_depth) do
+        nd := (!nd).children.(dense_idx !nd pu.((!nd).nd_depth))
+      done;
+      let nd = !nd in
+      let nc = Array.length nd.ranks in
+      let i = dense_idx nd pu.(nd.nd_depth)
+      and j = dense_idx nd pv.(nd.nd_depth) in
+      let add key port =
+        match Hashtbl.find_opt nd.buckets key with
+        | Some b -> b.tmp <- port :: b.tmp
+        | None ->
+            Hashtbl.add nd.buckets key
+              { ports = [||]; cursor = 0; tmp = [ port ] }
+      in
+      add ((i * nc) + j) (u, v);
+      add ((j * nc) + i) (v, u))
+    inter_edges;
+  let rec finalize nd =
+    let nc = Array.length nd.ranks in
+    if nc > 0 then begin
+      (* key order out of the table is arbitrary: sort before use *)
+      let keys =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) nd.buckets [])
+      in
+      let adj = Array.make nc [] in
+      List.iter
+        (fun key ->
+          let b = Hashtbl.find nd.buckets key in
+          b.ports <- Array.of_list (List.rev b.tmp);
+          b.tmp <- [];
+          adj.(key / nc) <- key mod nc :: adj.(key / nc))
+        keys;
+      (* keys ascending => each row was built ascending, then reversed *)
+      nd.child_adj <- Array.map (fun l -> Array.of_list (List.rev l)) adj;
+      Array.iter finalize nd.children
+    end
+  in
+  finalize root
+
+(* ---- construction ---- *)
+
+type info = {
+  clusters : int;
+  shortcuts : int;      (* matching shortcut edges across all leaves *)
+  rebuilt_leaves : int; (* leaves that played a fresh game *)
+  reused_leaves : int;  (* leaves routed from retained matchings *)
+  max_leaf_depth : int; (* deepest witness-tree member over all leaves *)
+  tree_height : int;    (* recursion-tree height *)
+}
+
+let build ?(reuse = true) ?(seed = 0) g
+    (d : Spectral.Expander_decomposition.t) =
+  Obs.Span.with_ "route.preprocess" @@ fun () ->
+  let n = Graph.n g in
+  if n = 0 || d.Spectral.Expander_decomposition.k = 0 then
+    invalid_arg "Route.Hierarchy.build: empty graph or decomposition";
+  let labels = d.Spectral.Expander_decomposition.labels in
+  if Array.length labels <> n then
+    invalid_arg "Route.Hierarchy.build: label array length mismatch";
+  let k = d.Spectral.Expander_decomposition.k in
+  let view = Distr.Cluster_view.of_labels g labels in
+  (* members per cluster, ascending; pos_of aligned *)
+  let counts = Array.make k 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) labels;
+  let members = Array.init k (fun l -> Array.make (max 1 counts.(l)) 0) in
+  let pos_of = Array.make n 0 in
+  let fill = Array.make k 0 in
+  for v = 0 to n - 1 do
+    let l = labels.(v) in
+    members.(l).(fill.(l)) <- v;
+    pos_of.(v) <- fill.(l);
+    fill.(l) <- fill.(l) + 1
+  done;
+  let paths =
+    Array.map
+      (fun w ->
+        Array.of_list w.Spectral.Expander_decomposition.w_path)
+      d.Spectral.Expander_decomposition.witnesses
+  in
+  if Array.length paths <> k then
+    invalid_arg "Route.Hierarchy.build: witnesses do not match clusters";
+  let leaves =
+    Array.init k (fun l ->
+        build_leaf g view ~tau:d.Spectral.Expander_decomposition.tau ~reuse
+          ~seed ~label:l
+          d.Spectral.Expander_decomposition.witnesses.(l)
+          ~members:members.(l) ~pos_of)
+  in
+  let root = build_node paths ~depth:0 (List.init k Fun.id) in
+  fill_buckets root paths labels g
+    d.Spectral.Expander_decomposition.inter_edges;
+  if Obs.enabled () then begin
+    Obs.Metric.count "route.clusters" k;
+    Array.iter
+      (fun (lf : leaf) ->
+        Obs.Metric.count "route.shortcuts" lf.shortcuts;
+        if lf.rebuilt then Obs.Metric.incr "route.rebuilt_leaves")
+      leaves;
+    Obs.Metric.count "route.ports"
+      (2 * List.length d.Spectral.Expander_decomposition.inter_edges)
+  end;
+  {
+    g;
+    labels;
+    paths;
+    pos_of;
+    leaves;
+    root;
+    chain = vec_create ();
+    fb_pred = Array.make n (-1);
+    fb_queue = Array.make n 0;
+    fallbacks = 0;
+  }
+
+let info t =
+  let shortcuts = ref 0 and rebuilt = ref 0 and reused = ref 0 in
+  let max_depth = ref 0 in
+  Array.iter
+    (fun (lf : leaf) ->
+      shortcuts := !shortcuts + lf.shortcuts;
+      if lf.rebuilt then incr rebuilt
+      else if lf.shortcuts > 0 then incr reused;
+      Array.iter (fun d -> if d > !max_depth then max_depth := d) lf.depth)
+    t.leaves;
+  let rec height nd =
+    if Array.length nd.children = 0 then 0
+    else 1 + Array.fold_left (fun acc c -> max acc (height c)) 0 nd.children
+  in
+  {
+    clusters = Array.length t.leaves;
+    shortcuts = !shortcuts;
+    rebuilt_leaves = !rebuilt;
+    reused_leaves = !reused;
+    max_leaf_depth = !max_depth;
+    tree_height = height t.root;
+  }
+
+(* ---- serving ---- *)
+
+(* append member [c]'s hop up to its parent (out currently ends at c) *)
+let push_up lf out c =
+  let p = lf.up_path.(c) in
+  let len = Array.length p in
+  if len = 0 then vec_push out lf.members.(lf.parent.(c))
+  else if lf.up_fwd.(c) then
+    for i = 1 to len - 1 do
+      vec_push out p.(i)
+    done
+  else
+    for i = len - 2 downto 0 do
+      vec_push out p.(i)
+    done
+
+(* append the hop down from [c]'s parent to [c] (out ends at the parent) *)
+let push_down lf out c =
+  let p = lf.up_path.(c) in
+  let len = Array.length p in
+  if len = 0 then vec_push out lf.members.(c)
+  else if lf.up_fwd.(c) then
+    for i = len - 2 downto 0 do
+      vec_push out p.(i)
+    done
+  else
+    for i = 1 to len - 1 do
+      vec_push out p.(i)
+    done
+
+(* last-resort leg: BFS on the whole graph. Reached when the witness
+   structures cannot connect the endpoints (disconnected input, or a
+   baseline decomposition whose clusters are not internally connected);
+   metered so benches can assert it stays cold. *)
+let fallback t out x y =
+  t.fallbacks <- t.fallbacks + 1;
+  Obs.Metric.incr "route.fallbacks";
+  let n = Graph.n t.g in
+  Array.fill t.fb_pred 0 n (-1);
+  t.fb_pred.(x) <- x;
+  let head = ref 0 and tail = ref 0 in
+  t.fb_queue.(!tail) <- x;
+  incr tail;
+  while !head < !tail && t.fb_pred.(y) < 0 do
+    let v = t.fb_queue.(!head) in
+    incr head;
+    Graph.iter_neighbors t.g v (fun w ->
+        if t.fb_pred.(w) < 0 then begin
+          t.fb_pred.(w) <- v;
+          t.fb_queue.(!tail) <- w;
+          incr tail
+        end)
+  done;
+  if t.fb_pred.(y) < 0 then false
+  else begin
+    let chain = t.chain in
+    chain.len <- 0;
+    let c = ref y in
+    while !c <> x do
+      vec_push chain !c;
+      c := t.fb_pred.(!c)
+    done;
+    for i = chain.len - 1 downto 0 do
+      vec_push out chain.buf.(i)
+    done;
+    true
+  end
+
+(* route x -> y inside leaf [lf]: LCA walk of the witness BFS tree *)
+let leaf_route t lf out x y =
+  if x = y then true
+  else begin
+    let px = ref t.pos_of.(x) and py = ref t.pos_of.(y) in
+    if lf.depth.(!px) < 0 || lf.depth.(!py) < 0 then fallback t out x y
+    else begin
+      let chain = t.chain in
+      chain.len <- 0;
+      while lf.depth.(!px) > lf.depth.(!py) do
+        push_up lf out !px;
+        px := lf.parent.(!px)
+      done;
+      while lf.depth.(!py) > lf.depth.(!px) do
+        vec_push chain !py;
+        py := lf.parent.(!py)
+      done;
+      while !px <> !py do
+        push_up lf out !px;
+        px := lf.parent.(!px);
+        vec_push chain !py;
+        py := lf.parent.(!py)
+      done;
+      for i = chain.len - 1 downto 0 do
+        push_down lf out chain.buf.(i)
+      done;
+      true
+    end
+  end
+
+(* memoized BFS over a node's child-connectivity graph *)
+let child_sequence nd i j =
+  let nc = Array.length nd.ranks in
+  let key = (i * nc) + j in
+  match Hashtbl.find_opt nd.child_seq key with
+  | Some s -> s
+  | None ->
+      let pred = Array.make nc (-1) in
+      pred.(i) <- i;
+      let queue = Array.make nc 0 in
+      let head = ref 0 and tail = ref 0 in
+      queue.(!tail) <- i;
+      incr tail;
+      while !head < !tail && pred.(j) < 0 do
+        let a = queue.(!head) in
+        incr head;
+        if Array.length nd.child_adj > 0 then
+          Array.iter
+            (fun b ->
+              if pred.(b) < 0 then begin
+                pred.(b) <- a;
+                queue.(!tail) <- b;
+                incr tail
+              end)
+            nd.child_adj.(a)
+      done;
+      let s =
+        if pred.(j) < 0 then [||]
+        else begin
+          let rev = ref [] in
+          let c = ref j in
+          while !c <> i do
+            rev := !c :: !rev;
+            c := pred.(!c)
+          done;
+          Array.of_list (i :: !rev)
+        end
+      in
+      Hashtbl.add nd.child_seq key s;
+      s
+
+let rec route_under t nd out x y =
+  if x = y then true
+  else if nd.cluster >= 0 then leaf_route t t.leaves.(nd.cluster) out x y
+  else begin
+    let rx = t.paths.(t.labels.(x)).(nd.nd_depth)
+    and ry = t.paths.(t.labels.(y)).(nd.nd_depth) in
+    if rx = ry then route_under t nd.children.(dense_idx nd rx) out x y
+    else route_across t nd out (dense_idx nd rx) (dense_idx nd ry) x y
+  end
+
+and route_across t nd out i j x y =
+  let seq = child_sequence nd i j in
+  if Array.length seq = 0 then fallback t out x y
+  else begin
+    let nc = Array.length nd.ranks in
+    let ok = ref true in
+    let cur = ref x in
+    let s = ref 0 in
+    while !ok && !s < Array.length seq - 1 do
+      let a = seq.(!s) and b = seq.(!s + 1) in
+      (match Hashtbl.find_opt nd.buckets ((a * nc) + b) with
+      | None -> ok := false
+      | Some bk ->
+          let u, v = bk.ports.(bk.cursor) in
+          bk.cursor <- (bk.cursor + 1) mod Array.length bk.ports;
+          ok := route_under t nd.children.(a) out !cur u;
+          if !ok then begin
+            vec_push out v;
+            cur := v
+          end);
+      incr s
+    done;
+    if !ok then route_under t nd.children.(j) out !cur y
+    else fallback t out !cur y
+  end
+
+(* plan one demand into [out] (cleared first). Returns [false] iff the
+   endpoints are unreachable even by the global fallback; on success the
+   vec holds the full vertex path, [src] first, [dst] last, consecutive
+   entries real edges. *)
+let route t out src dst =
+  let n = Graph.n t.g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Route.Hierarchy.route: vertex out of range";
+  out.len <- 0;
+  vec_push out src;
+  route_under t t.root out src dst
+
+let fallbacks t = t.fallbacks

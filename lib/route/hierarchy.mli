@@ -1,0 +1,61 @@
+(** The reusable witness hierarchy behind expander routing.
+
+    [build] turns one {!Spectral.Expander_decomposition.t} into a
+    two-level routing structure: a {e leaf witness} per cluster (a BFS
+    tree over intra-cluster edges plus the cut-matching game's embedded
+    matchings as shortcut edges, rooted at the max-intra-degree leader)
+    and an {e internal witness} per recursion-tree node (inter-cluster
+    edges bucketed as portal edges per ordered child pair, with
+    round-robin cursors, plus the child-connectivity graph). Clusters
+    whose decomposition retained no matchings rebuild their witness by
+    playing a fresh cut-matching game on the induced subgraph — the
+    reuse-vs-rebuild axis that route-bench measures.
+
+    [route] then plans one demand as a concrete vertex path: descend the
+    recursion tree along the common prefix of the endpoint clusters'
+    addresses, cross one portal edge per hop of a child sequence at the
+    divergence node, and solve intra-cluster legs by an LCA walk of the
+    leaf's BFS tree, expanding shortcuts to their embedded real paths.
+    Planning is deterministic (fixed adjacency orders, portals rotate in
+    demand order, rebuild games seeded via [Pool.derive_seed]). *)
+
+(** Growable int vector used as the planner's path accumulator, so a
+    serving loop can reuse one buffer across millions of demands. *)
+type vec = { mutable buf : int array; mutable len : int }
+
+val vec_create : unit -> vec
+val vec_clear : vec -> unit
+val vec_push : vec -> int -> unit
+val vec_to_array : vec -> int array
+
+type t
+
+(** [build ?reuse ?seed g decomp] preprocesses the decomposition into a
+    witness hierarchy. [reuse] (default [true]) retains the embedded
+    matchings the decomposition engines recorded; [~reuse:false] forces
+    every large-enough cluster to replay the cut-matching game.
+    @raise Invalid_argument on an empty graph or mismatched labels. *)
+val build : ?reuse:bool -> ?seed:int -> Sparse_graph.Graph.t ->
+  Spectral.Expander_decomposition.t -> t
+
+(** [route t out src dst] clears [out] and fills it with a full vertex
+    path, [src] first, [dst] last, consecutive entries real edges of the
+    graph. Returns [false] iff the endpoints are disconnected (then
+    [out] holds a partial prefix and must be discarded). *)
+val route : t -> vec -> int -> int -> bool
+
+(** Legs that had to leave the witness structures and fall back to a
+    global BFS (disconnected clusters of a baseline decomposition);
+    cumulative since [build]. *)
+val fallbacks : t -> int
+
+type info = {
+  clusters : int;
+  shortcuts : int;      (** matching shortcut edges across all leaves *)
+  rebuilt_leaves : int; (** leaves that played a fresh game *)
+  reused_leaves : int;  (** leaves routed from retained matchings *)
+  max_leaf_depth : int; (** deepest witness-tree member over all leaves *)
+  tree_height : int;    (** recursion-tree height *)
+}
+
+val info : t -> info

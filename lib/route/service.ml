@@ -1,0 +1,139 @@
+open Sparse_graph
+
+(* Batched serving on top of the witness hierarchy. [serve] is the pure
+   in-memory planner: it answers a demand matrix with per-demand path
+   lengths (p50/p99/max) and per-edge weighted congestion, reusing one
+   path buffer so a million-demand batch allocates nothing per demand
+   beyond the stats. [plan] retains the concrete paths; [serve_congest]
+   executes them as a CONGEST workload on the sharded simulator via
+   Distr.Witness_routing and checks the deliveries against the planner. *)
+
+type demand = { src : int; dst : int; weight : int }
+
+type t = {
+  g : Graph.t;
+  hier : Hierarchy.t;
+  cong : int array;  (* per edge id, weighted load of the last batch *)
+  out : Hierarchy.vec;
+}
+
+type summary = {
+  demands : int;
+  delivered : int;   (* demands the planner routed *)
+  failed : int;      (* demands with disconnected endpoints *)
+  fallbacks : int;   (* legs that left the witness structures *)
+  rounds_p50 : int;  (* per-demand path length (edges), percentiles *)
+  rounds_p99 : int;
+  rounds_max : int;
+  congestion_max : int;    (* heaviest weighted per-edge load *)
+  congestion_total : int;  (* sum of weight * length over demands *)
+}
+
+let preprocess ?reuse ?seed g decomp =
+  {
+    g;
+    hier = Hierarchy.build ?reuse ?seed g decomp;
+    cong = Array.make (Graph.m g) 0;
+    out = Hierarchy.vec_create ();
+  }
+
+let hierarchy t = t.hier
+let congestion t = t.cong
+
+(* nearest-rank percentile of the sorted prefix [a.(0 .. len-1)] *)
+let percentile a len p =
+  if len = 0 then 0
+  else begin
+    let rank = (len * p + 99) / 100 in
+    a.(max 0 (min (len - 1) (rank - 1)))
+  end
+
+(* route one demand into [t.out] and charge its congestion; returns the
+   path length in edges, or -1 if unroutable *)
+let serve_one t d =
+  if Hierarchy.route t.hier t.out d.src d.dst then begin
+    let out = t.out in
+    for i = 1 to out.Hierarchy.len - 1 do
+      let e = Graph.find_edge t.g out.Hierarchy.buf.(i - 1) out.Hierarchy.buf.(i) in
+      t.cong.(e) <- t.cong.(e) + d.weight
+    done;
+    out.Hierarchy.len - 1
+  end
+  else -1
+
+let serve t (ds : demand array) =
+  Obs.Span.with_ "route.serve" @@ fun () ->
+  Array.fill t.cong 0 (Array.length t.cong) 0;
+  let fb0 = Hierarchy.fallbacks t.hier in
+  let lengths = Array.make (max 1 (Array.length ds)) 0 in
+  let del = ref 0 and failed = ref 0 in
+  Array.iter
+    (fun d ->
+      match serve_one t d with
+      | -1 -> incr failed
+      | len ->
+          lengths.(!del) <- len;
+          incr del)
+    ds;
+  let del = !del in
+  let sorted = Array.sub lengths 0 del in
+  Array.sort compare sorted;
+  let congestion_max = Array.fold_left max 0 t.cong in
+  let congestion_total = Array.fold_left ( + ) 0 t.cong in
+  let s =
+    {
+      demands = Array.length ds;
+      delivered = del;
+      failed = !failed;
+      fallbacks = Hierarchy.fallbacks t.hier - fb0;
+      rounds_p50 = percentile sorted del 50;
+      rounds_p99 = percentile sorted del 99;
+      rounds_max = (if del = 0 then 0 else sorted.(del - 1));
+      congestion_max;
+      congestion_total;
+    }
+  in
+  if Obs.enabled () then begin
+    Obs.Metric.count "route.demands" s.demands;
+    Obs.Metric.count "route.delivered" s.delivered;
+    Obs.Metric.count "route.failed" s.failed;
+    Obs.Metric.count "route.rounds_p50" s.rounds_p50;
+    Obs.Metric.count "route.rounds_p99" s.rounds_p99;
+    Obs.Metric.count "route.congestion_max" s.congestion_max
+  end;
+  s
+
+(* retained plans, [||] for an unroutable demand *)
+let plan t (ds : demand array) =
+  Array.map
+    (fun d ->
+      if Hierarchy.route t.hier t.out d.src d.dst then
+        Hierarchy.vec_to_array t.out
+      else [||])
+    ds
+
+type congest_run = {
+  planner : summary;
+  routed : Distr.Witness_routing.result;
+  match_planner : bool;
+      (* simulator delivered exactly the planner's demand multiset *)
+}
+
+let serve_congest ?exec ?faults t (ds : demand array) ~max_rounds =
+  let planner = serve t ds in
+  let plans = plan t ds in
+  let routable =
+    Array.of_list
+      (List.filter
+         (fun p -> Array.length p > 0)
+         (Array.to_list plans))
+  in
+  let routed =
+    Distr.Witness_routing.run ?exec ?faults t.g ~plans:routable ~max_rounds
+  in
+  let match_planner =
+    Distr.Witness_routing.check ~plans:routable routed
+    && routed.Distr.Witness_routing.undelivered = 0
+    && Array.length routable = planner.delivered
+  in
+  { planner; routed; match_planner }

@@ -1,0 +1,55 @@
+(** Batched demand serving on top of the witness {!Hierarchy}.
+
+    [preprocess] builds the hierarchy once; [serve] then answers demand
+    matrices as a pure in-memory planner (reusing one path buffer, so a
+    million-demand batch costs no per-demand allocation beyond stats),
+    and [serve_congest] additionally executes the planned paths as a
+    CONGEST workload on the (optionally sharded) simulator via
+    {!Distr.Witness_routing}, checking the simulator's deliveries
+    against the planner's. *)
+
+type demand = { src : int; dst : int; weight : int }
+
+type t
+
+(** [preprocess ?reuse ?seed g decomp] — see {!Hierarchy.build}. *)
+val preprocess : ?reuse:bool -> ?seed:int -> Sparse_graph.Graph.t ->
+  Spectral.Expander_decomposition.t -> t
+
+val hierarchy : t -> Hierarchy.t
+
+(** Per-edge weighted congestion charged by the latest [serve] /
+    [serve_congest] batch (indexed by edge id). *)
+val congestion : t -> int array
+
+type summary = {
+  demands : int;
+  delivered : int;   (** demands the planner routed *)
+  failed : int;      (** demands with disconnected endpoints *)
+  fallbacks : int;   (** legs that left the witness structures *)
+  rounds_p50 : int;  (** per-demand path length (edges), nearest-rank *)
+  rounds_p99 : int;
+  rounds_max : int;
+  congestion_max : int;    (** heaviest weighted per-edge load *)
+  congestion_total : int;  (** sum of weight × length over demands *)
+}
+
+(** Plan every demand, charge congestion (reset per batch), summarize. *)
+val serve : t -> demand array -> summary
+
+(** Retained plans (full vertex paths, src first), [[||]] for an
+    unroutable demand. *)
+val plan : t -> demand array -> int array array
+
+type congest_run = {
+  planner : summary;
+  routed : Distr.Witness_routing.result;
+  match_planner : bool;
+      (** the simulator delivered exactly the planner's routable
+          demands — every token at its plan's destination, none lost *)
+}
+
+(** [serve_congest ?exec ?faults t ds ~max_rounds] plans [ds] and ships
+    one token per routable demand on the CONGEST simulator. *)
+val serve_congest : ?exec:Congest.Network.exec -> ?faults:Congest.Faults.t ->
+  t -> demand array -> max_rounds:int -> congest_run

@@ -1,5 +1,17 @@
 open Sparse_graph
 
+type cluster_witness = {
+  w_path : int list;
+  w_matchings : ((int * int) array * int array array) list;
+  w_congestion : int;
+  w_dilation : int;
+  w_source : string;
+}
+
+let no_witness ~path ~source =
+  { w_path = path; w_matchings = []; w_congestion = 0; w_dilation = 0;
+    w_source = source }
+
 type t = {
   labels : int array;
   k : int;
@@ -7,6 +19,7 @@ type t = {
   epsilon : float;
   phi : float;
   tau : float;
+  witnesses : cluster_witness array;
 }
 
 type params = {
@@ -160,6 +173,10 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
       (fun (_, vs) -> Obs.Metric.hist "cluster_size" (List.length vs))
       accepted
   end;
+  let witnesses =
+    Array.of_list
+      (List.map (fun (path, _) -> no_witness ~path ~source:"spectral") accepted)
+  in
   {
     labels;
     k = !next_label;
@@ -167,6 +184,7 @@ let decompose ?(params = default_params) ?(pool = Parallel.Pool.sequential) g
     epsilon;
     phi = tau *. tau /. 4.;
     tau;
+    witnesses;
   }
 
 let inter_fraction g t =
@@ -228,4 +246,13 @@ let bfs_ball_baseline g ~radius =
       []
     |> List.rev
   in
-  { labels; k = !next; inter_edges; epsilon = 1.; phi = 0.; tau = 0. }
+  {
+    labels;
+    k = !next;
+    inter_edges;
+    epsilon = 1.;
+    phi = 0.;
+    tau = 0.;
+    witnesses =
+      Array.init !next (fun i -> no_witness ~path:[ i ] ~source:"baseline");
+  }

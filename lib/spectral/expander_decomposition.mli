@@ -15,6 +15,30 @@
     [phi >= tau^2 / 4] by Cheeger's inequality (exactly verified for small
     clusters). *)
 
+(** Per-cluster routing witness retained from the recursion that produced
+    the cluster. [w_path] is the cluster's address in the recursion tree
+    (child ranks from the root) — label order is exactly the
+    lexicographic order of these paths, so the tree can be rebuilt from
+    them. [w_matchings] (possibly empty) lists the cut-matching game's
+    routed matchings, newest first, each as the matched [(src, dst)]
+    pairs plus the aligned embedded vertex paths, all in original vertex
+    ids; [w_congestion] / [w_dilation] bound the embedding's per-edge
+    congestion and path length. [w_source] records which engine accepted
+    the cluster ("spectral", "cutmatching", "exact", "trivial",
+    "baseline"). Plain data on purpose: [lib/flow] fills it in, anything
+    above may consume it without depending on the flow engine. *)
+type cluster_witness = {
+  w_path : int list;
+  w_matchings : ((int * int) array * int array array) list;
+  w_congestion : int;
+  w_dilation : int;
+  w_source : string;
+}
+
+(** A witness with no matchings, for engines that certify acceptance
+    without routing anything. *)
+val no_witness : path:int list -> source:string -> cluster_witness
+
 type t = {
   labels : int array;        (** vertex -> cluster id in [0 .. k-1] *)
   k : int;                   (** number of clusters *)
@@ -22,6 +46,9 @@ type t = {
   epsilon : float;           (** requested epsilon *)
   phi : float;               (** certified conductance target [tau^2 / 4] *)
   tau : float;               (** sweep-cut acceptance threshold *)
+  witnesses : cluster_witness array;
+      (** indexed by cluster label; [witnesses.(l).w_path] addresses
+          cluster [l] in the recursion tree *)
 }
 
 (** Parameters for the recursive splitter. *)

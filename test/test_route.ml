@@ -1,0 +1,319 @@
+(* Expander routing: witness hierarchy, serving layer, and the fixed
+   walk router. Pins the PR's contracts:
+
+   - planned paths are real walks of the graph (src first, dst last,
+     consecutive entries edges), for both decomposition engines and for
+     witness reuse as well as forced rebuild;
+   - the planner summary's accounting is internally consistent
+     (delivered + failed = demands, p50 <= p99 <= max, congestion total
+     = sum of weighted path lengths);
+   - planner and CONGEST execution deliver the same demand multiset at
+     every shards {1,4} x jobs {1,4} point, byte-identically;
+   - the walk router's delivery order is pinned by a fixed-seed golden
+     (own tokens in seq order, then arrival order);
+   - qcheck: [delivered + undelivered = total] survives drop/crash
+     schedules, every shards x jobs point, and halting-round cutoffs,
+     for both the walk router and the witness router. *)
+
+open Sparse_graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let pool_of jobs = Parallel.Pool.create ~jobs ()
+
+let exec_points =
+  [ (1, 1); (1, 4); (4, 1); (4, 4) ]
+  |> List.map (fun (shards, jobs) ->
+         ( Printf.sprintf "s%dj%d" shards jobs,
+           Congest.Network.Sharded { shards; pool = pool_of jobs } ))
+
+let service ?reuse ?(engine = Core.Pipeline.Spectral_engine)
+    ?(epsilon = 0.3) g =
+  let p = Core.Pipeline.prepare ~mode:Core.Pipeline.Charged ~engine g ~epsilon ~seed:5 in
+  Core.Pipeline.routing_service ?reuse ~seed:11 p
+
+let demands_of g ~count ~seed =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let n = Graph.n g in
+  Array.init count (fun _ ->
+      {
+        Route.Service.src = Random.State.int st n;
+        dst = Random.State.int st n;
+        weight = 1 + Random.State.int st 3;
+      })
+
+let valid_plan g (d : Route.Service.demand) p =
+  let len = Array.length p in
+  len >= 1
+  && p.(0) = d.src
+  && p.(len - 1) = d.dst
+  &&
+  let ok = ref true in
+  for i = 1 to len - 1 do
+    if p.(i - 1) = p.(i) then ok := false
+    else
+      match Graph.find_edge g p.(i - 1) p.(i) with
+      | _ -> ()
+      | exception Not_found -> ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Planner: path validity and summary accounting                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_plans_valid_both_engines () =
+  List.iter
+    (fun engine ->
+      let g = Generators.grid 7 6 in
+      let svc = service ~engine g in
+      let ds = demands_of g ~count:60 ~seed:3 in
+      let plans = Route.Service.plan svc ds in
+      Array.iteri
+        (fun i p ->
+          checkb "plan is a real walk" true (valid_plan g ds.(i) p))
+        plans)
+    [ Core.Pipeline.Spectral_engine; Core.Pipeline.Cut_matching_engine ]
+
+let test_summary_accounting () =
+  let g = Generators.random_planar 90 1.6 ~seed:4 in
+  let svc = service g in
+  let ds = demands_of g ~count:200 ~seed:9 in
+  let s = Route.Service.serve svc ds in
+  checki "delivered + failed = demands" s.Route.Service.demands
+    (s.Route.Service.delivered + s.Route.Service.failed);
+  checki "connected graph: all routable" 0 s.Route.Service.failed;
+  checkb "p50 <= p99" true (s.Route.Service.rounds_p50 <= s.Route.Service.rounds_p99);
+  checkb "p99 <= max" true (s.Route.Service.rounds_p99 <= s.Route.Service.rounds_max);
+  (* congestion total must equal the weighted sum of plan lengths *)
+  let plans = Route.Service.plan svc ds in
+  let expect = ref 0 in
+  Array.iteri
+    (fun i p ->
+      expect := !expect + (ds.(i).Route.Service.weight * (Array.length p - 1)))
+    plans;
+  checki "congestion accounting" !expect s.Route.Service.congestion_total;
+  let cong = Route.Service.congestion svc in
+  checki "per-edge loads sum to the total" s.Route.Service.congestion_total
+    (Array.fold_left ( + ) 0 cong)
+
+let test_reuse_vs_rebuild () =
+  let g = Generators.random_regular 48 4 ~seed:2 in
+  let reused = service ~engine:Core.Pipeline.Cut_matching_engine ~reuse:true g in
+  let rebuilt = service ~engine:Core.Pipeline.Cut_matching_engine ~reuse:false g in
+  let ri = Route.Hierarchy.info (Route.Service.hierarchy reused) in
+  let bi = Route.Hierarchy.info (Route.Service.hierarchy rebuilt) in
+  checkb "game matchings were retained and reused" true
+    (ri.Route.Hierarchy.shortcuts > 0);
+  checki "no fresh games when reusing" 0 ri.Route.Hierarchy.rebuilt_leaves;
+  checkb "forced rebuild replays games" true
+    (bi.Route.Hierarchy.rebuilt_leaves > 0);
+  let ds = demands_of g ~count:120 ~seed:8 in
+  let sr = Route.Service.serve reused ds in
+  let sb = Route.Service.serve rebuilt ds in
+  checki "same deliveries either way" sr.Route.Service.delivered
+    sb.Route.Service.delivered;
+  Array.iteri
+    (fun i p -> checkb "rebuilt plan valid" true (valid_plan g ds.(i) p))
+    (Route.Service.plan rebuilt ds)
+
+(* ------------------------------------------------------------------ *)
+(* CONGEST execution parity                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_congest_matches_planner_all_points () =
+  let g = Generators.grid 6 6 in
+  let svc = service g in
+  let ds = demands_of g ~count:48 ~seed:12 in
+  let runs =
+    List.map
+      (fun (name, exec) ->
+        let r = Route.Service.serve_congest ~exec svc ds ~max_rounds:4000 in
+        checkb (name ^ ": simulator matches planner") true
+          r.Route.Service.match_planner;
+        (name, r.Route.Service.routed.Distr.Witness_routing.delivered))
+      exec_points
+  in
+  match runs with
+  | [] -> assert false
+  | (_, first) :: rest ->
+      List.iter
+        (fun (name, d) ->
+          checkb (name ^ ": deliveries byte-identical across points") true
+            (d = first))
+        rest
+
+let test_self_demands_and_degenerate () =
+  let g = Generators.star 5 in
+  let svc = service g in
+  let ds =
+    [|
+      { Route.Service.src = 2; dst = 2; weight = 7 };
+      { Route.Service.src = 0; dst = 5; weight = 1 };
+    |]
+  in
+  let r = Route.Service.serve_congest svc ds ~max_rounds:100 in
+  checkb "self-demand delivered" true r.Route.Service.match_planner;
+  checki "no congestion from a self-demand beyond the real hop" 1
+    r.Route.Service.planner.Route.Service.congestion_max
+
+(* ------------------------------------------------------------------ *)
+(* Walk router: delivery order regression (fixed seed golden)          *)
+(* ------------------------------------------------------------------ *)
+
+let golden_run () =
+  let g = Generators.complete 8 in
+  let view = Distr.Cluster_view.whole g in
+  let leaders = Distr.Leader_election.run view ~rounds:2 in
+  Distr.Walk_routing.run view ~leader_of:leaders.Distr.Leader_election.leader_of
+    ~tokens_of:(fun _ -> 2)
+    ~walk_len:200 ~seed:3 ~max_rounds:2000
+
+let test_walk_order_golden () =
+  let r = golden_run () in
+  match r.Distr.Walk_routing.delivered with
+  | [ (leader, toks) ] ->
+      checki "complete graph: max-degree tie broken to largest id" 7 leader;
+      let got =
+        List.map
+          (fun (t : Distr.Walk_routing.token) -> (t.origin, t.seq))
+          toks
+      in
+      (* leader's own tokens first in seq order, then arrival order;
+         pinned against the fixed-seed run this PR ships *)
+      Alcotest.(check (list (pair int int)))
+        "delivery order"
+        [ (7, 0); (7, 1); (6, 0); (0, 0); (3, 0); (6, 1); (3, 1); (4, 1);
+          (2, 0); (5, 0); (1, 1); (4, 0); (0, 1); (1, 0); (2, 1); (5, 1) ]
+        got
+  | _ -> Alcotest.fail "expected a single leader"
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: conservation under faults, shards x jobs, halting rounds    *)
+(* ------------------------------------------------------------------ *)
+
+let fault_gen =
+  let open QCheck.Gen in
+  let crash n =
+    let* vertex = int_bound (n - 1) in
+    let* at_round = map (fun r -> 1 + r) (int_bound 6) in
+    let* recover = opt (map (fun r -> at_round + 1 + r) (int_bound 5)) in
+    return { Congest.Faults.vertex; at_round; recover_round = recover }
+  in
+  fun n ->
+    let* seed = int_bound 10_000 in
+    let* drop = oneofl [ 0.; 0.1; 0.4 ] in
+    let* crashes = list_size (int_bound 2) (crash n) in
+    return (Congest.Faults.make ~drop_rate:drop ~crashes ~seed ())
+
+let routing_case_gen =
+  let open QCheck.Gen in
+  let* rows = 2 -- 4 in
+  let* cols = 2 -- 4 in
+  let* shards, jobs = oneofl [ (1, 1); (1, 4); (4, 1); (4, 4) ] in
+  let* max_rounds = oneofl [ 1; 3; 17; 2000 ] in
+  let* faults = fault_gen (rows * cols) in
+  let* seed = int_bound 1000 in
+  return (rows, cols, shards, jobs, max_rounds, faults, seed)
+
+let routing_case_arb =
+  QCheck.make
+    ~print:(fun (r, c, s, j, mr, f, seed) ->
+      Printf.sprintf "grid %dx%d shards %d jobs %d max_rounds %d seed %d %s" r
+        c s j mr seed
+        (Format.asprintf "%a" Congest.Faults.pp f))
+    routing_case_gen
+
+(* shortest-path plans, so witness-router conservation is exercised
+   independently of the planner *)
+let bfs_plan g src dst =
+  let n = Graph.n g in
+  let pred = Array.make n (-1) in
+  pred.(src) <- src;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_neighbors g v (fun w ->
+        if pred.(w) < 0 then begin
+          pred.(w) <- v;
+          Queue.add w q
+        end)
+  done;
+  let rec walk acc v = if v = src then v :: acc else walk (v :: acc) pred.(v) in
+  Array.of_list (walk [] dst)
+
+let qcheck_walk_conservation =
+  QCheck.Test.make ~name:"walk router: delivered + undelivered = total"
+    ~count:40 routing_case_arb
+    (fun (rows, cols, shards, jobs, max_rounds, faults, seed) ->
+      let g = Generators.grid rows cols in
+      let view = Distr.Cluster_view.whole g in
+      let leaders = Distr.Leader_election.run view ~rounds:(rows + cols) in
+      let r =
+        Distr.Walk_routing.run
+          ~exec:(Congest.Network.Sharded { shards; pool = pool_of jobs })
+          ~faults view
+          ~leader_of:leaders.Distr.Leader_election.leader_of
+          ~tokens_of:(fun v -> v mod 3)
+          ~walk_len:30 ~seed ~max_rounds
+      in
+      let total = ref 0 in
+      for v = 0 to Graph.n g - 1 do
+        total := !total + (v mod 3)
+      done;
+      let got =
+        List.fold_left
+          (fun acc (_, toks) -> acc + List.length toks)
+          0 r.Distr.Walk_routing.delivered
+      in
+      got + r.Distr.Walk_routing.undelivered = !total
+      && r.Distr.Walk_routing.expired <= r.Distr.Walk_routing.undelivered
+      && r.Distr.Walk_routing.held <= r.Distr.Walk_routing.undelivered)
+
+let qcheck_witness_conservation =
+  QCheck.Test.make ~name:"witness router: delivered + undelivered = demands"
+    ~count:40 routing_case_arb
+    (fun (rows, cols, shards, jobs, max_rounds, faults, seed) ->
+      let g = Generators.grid rows cols in
+      let n = Graph.n g in
+      let st = Random.State.make [| seed; 31 |] in
+      let plans =
+        Array.init (n * 2) (fun _ ->
+            bfs_plan g (Random.State.int st n) (Random.State.int st n))
+      in
+      let r =
+        Distr.Witness_routing.run
+          ~exec:(Congest.Network.Sharded { shards; pool = pool_of jobs })
+          ~faults g ~plans ~max_rounds
+      in
+      let got =
+        List.fold_left
+          (fun acc (_, ds) -> acc + List.length ds)
+          0 r.Distr.Witness_routing.delivered
+      in
+      got + r.Distr.Witness_routing.undelivered = Array.length plans
+      && Distr.Witness_routing.check ~plans r)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "route"
+    [
+      ( "planner",
+        [
+          tc "plans valid, both engines" test_plans_valid_both_engines;
+          tc "summary accounting" test_summary_accounting;
+          tc "witness reuse vs rebuild" test_reuse_vs_rebuild;
+        ] );
+      ( "congest",
+        [
+          tc "matches planner at all shards x jobs"
+            test_congest_matches_planner_all_points;
+          tc "self-demands and leaves" test_self_demands_and_degenerate;
+        ] );
+      ( "walk router", [ tc "delivery order golden" test_walk_order_golden ] );
+      ( "conservation",
+        [ qt qcheck_walk_conservation; qt qcheck_witness_conservation ] );
+    ]
