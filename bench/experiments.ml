@@ -1477,10 +1477,13 @@ let route_bench () =
       if n = top then !route_demands
       else max 20_000 (!route_demands / 50)
     in
-    let serve_pattern pattern =
+    (* one serve per pattern x selection policy: the v2 axis comparing
+       round-robin cursors against least-loaded (power-of-two-choices)
+       portal and entry selection on the same demand batch *)
+    let serve_pattern pattern (policy, pname) =
       let ds = route_demand_batch g ~pattern ~count ~seed:(n + 5) in
       let t0 = Obs.Clock.wall_s () in
-      let s = Route.Service.serve svc ds in
+      let s = Route.Service.serve ~policy svc ds in
       let secs = Obs.Clock.wall_s () -. t0 in
       let dps = float_of_int s.Route.Service.demands /. Float.max 1e-9 secs in
       ( s,
@@ -1489,6 +1492,7 @@ let route_bench () =
         Obs.Json.Obj
           [
             ("pattern", Obs.Json.Str pattern);
+            ("policy", Obs.Json.Str pname);
             ("demands", Obs.Json.Int s.Route.Service.demands);
             ("delivered", Obs.Json.Int s.Route.Service.delivered);
             ("failed", Obs.Json.Int s.Route.Service.failed);
@@ -1502,9 +1506,12 @@ let route_bench () =
             ("demands_per_sec", Obs.Json.Float dps);
           ] )
     in
-    let rand_s, _, rand_dps, rand_json = serve_pattern "random" in
-    let hot_s, _, hot_dps, hot_json = serve_pattern "hotspot" in
-    ignore hot_dps;
+    let rr = (Route.Hierarchy.Round_robin, "round_robin") in
+    let ll = (Route.Hierarchy.Least_loaded, "least_loaded") in
+    let _, _, _, rand_rr_json = serve_pattern "random" rr in
+    let rand_s, _, rand_dps, rand_ll_json = serve_pattern "random" ll in
+    let hot_rr, _, _, hot_rr_json = serve_pattern "hotspot" rr in
+    let hot_ll, _, _, hot_ll_json = serve_pattern "hotspot" ll in
     (* execute the plans on the sharded simulator where tractable and
        check the deliveries against the planner *)
     let congest_json =
@@ -1552,7 +1559,8 @@ let route_bench () =
         i hinfo.Route.Hierarchy.rebuilt_leaves;
         i rand_s.Route.Service.rounds_p50;
         i rand_s.Route.Service.rounds_p99;
-        i hot_s.Route.Service.congestion_max;
+        i hot_rr.Route.Service.congestion_max;
+        i hot_ll.Route.Service.congestion_max;
         Printf.sprintf "%.0fk/s" (rand_dps /. 1e3);
       ]
     in
@@ -1569,7 +1577,9 @@ let route_bench () =
           ("rebuilt_leaves", Obs.Json.Int hinfo.Route.Hierarchy.rebuilt_leaves);
           ("reused_leaves", Obs.Json.Int hinfo.Route.Hierarchy.reused_leaves);
           ("tree_height", Obs.Json.Int hinfo.Route.Hierarchy.tree_height);
-          ("patterns", Obs.Json.List [ rand_json; hot_json ]);
+          ( "patterns",
+            Obs.Json.List
+              [ rand_rr_json; rand_ll_json; hot_rr_json; hot_ll_json ] );
           ("congest", congest_json);
         ]
     in
@@ -1591,23 +1601,70 @@ let route_bench () =
           rungs)
       (route_families 20220711)
   in
+  (* jobs-scaling ladder: the same top-rung batch served by the
+     epoch-parallel planner at increasing pool sizes; the summary must
+     be byte-identical at every rung (the epoch snapshot contract).
+     Speedups are what this host's cores allow — a single-core CI
+     container reports flat-or-worse wall clock, see EXPERIMENTS.md *)
+  let ladder =
+    let n = top in
+    let g = Workloads.grid_of n in
+    let p =
+      Core.Pipeline.prepare ~mode:charged
+        ~engine:Core.Pipeline.Cut_matching_engine ~pool:!pool g
+        ~epsilon:route_epsilon ~seed:20220711
+    in
+    let ds = route_demand_batch g ~pattern:"random" ~count:!route_demands
+        ~seed:(n + 5) in
+    let base = ref None in
+    let base_dps = ref 0. in
+    List.map
+      (fun jobs ->
+        let jp = Parallel.Pool.create ~jobs () in
+        let svc = Core.Pipeline.routing_service ~reuse:true ~seed:31 ~pool:jp p in
+        let t0 = Obs.Clock.wall_s () in
+        let s = Route.Service.serve svc ds in
+        let secs = Obs.Clock.wall_s () -. t0 in
+        let dps = float_of_int s.Route.Service.demands /. Float.max 1e-9 secs in
+        let equal =
+          match !base with
+          | None ->
+              base := Some s;
+              base_dps := dps;
+              true
+          | Some b -> s = b
+        in
+        note "jobs %d: %.2fs (%.0fk demands/s)%s\n" jobs secs (dps /. 1e3)
+          (if equal then "" else "  ** SUMMARY MISMATCH **");
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int jobs);
+            ("seconds", Obs.Json.Float secs);
+            ("demands_per_sec", Obs.Json.Float dps);
+            ("summary_equal", Obs.Json.Bool equal);
+            ( "speedup_vs_j1",
+              Obs.Json.Float (dps /. Float.max 1e-9 !base_dps) );
+          ])
+      [ 1; 2; 4 ]
+  in
   let w1, w2, ratio = route_walk_alloc_probe () in
   note "walk-router hot-spot alloc: %.1f words/token at 1x, %.1f at 2x (ratio %.2f)\n"
     w1 w2 ratio;
   print_table ~title:"route-bench: witness-hierarchy serving"
     ~header:
       [ "family"; "n"; "engine"; "witness"; "pre(s)"; "k"; "shortcuts";
-        "rebuilt"; "p50"; "p99"; "hot cmax"; "rate" ]
+        "rebuilt"; "p50"; "p99"; "cmax rr"; "cmax ll"; "rate" ]
     (List.map snd results);
   let doc =
     Obs.Json.Obj
       [
         ("schema", Obs.Json.Str "expander-route-bench");
-        ("version", Obs.Json.Int 1);
+        ("version", Obs.Json.Int 2);
         ("epsilon", Obs.Json.Float route_epsilon);
         ("n", Obs.Json.Int !route_n);
         ("demands", Obs.Json.Int !route_demands);
         ("results", Obs.Json.List (List.map fst results));
+        ("jobs_ladder", Obs.Json.List ladder);
         ( "walk_router",
           Obs.Json.Obj
             [

@@ -414,7 +414,7 @@ let check_decomp_bench path ~require_frontier =
    than this factor (the old quadratic inbox merge roughly doubled it) *)
 let route_alloc_ratio_limit = 1.5
 
-let check_route_bench path =
+let check_route_bench path ~require_congestion_win ~require_jobs_speedup =
   let doc = parse path in
   (match require path "schema" doc with
   | Json.Str "expander-route-bench" -> ()
@@ -422,8 +422,8 @@ let check_route_bench path =
       fail "%s: schema is %S, expected \"expander-route-bench\"" path s
   | _ -> fail "%s: schema is not a string" path);
   (match require path "version" doc with
-  | Json.Int 1 -> ()
-  | Json.Int v -> fail "%s: version is %d, expected 1" path v
+  | Json.Int 2 -> ()
+  | Json.Int v -> fail "%s: version is %d, expected 2" path v
   | _ -> fail "%s: version is not an integer" path);
   ignore (decomp_num path "doc" doc "epsilon");
   (match require path "walk_router" doc with
@@ -437,12 +437,59 @@ let check_route_bench path =
            allocation grows with load (quadratic hot path?)"
           path ratio route_alloc_ratio_limit
   | _ -> fail "%s: walk_router missing or not an object" path);
+  (* jobs ladder: the epoch-parallel planner served the same batch at
+     increasing pool sizes; the summaries must agree at every rung *)
+  (match require path "jobs_ladder" doc with
+  | Json.List [] -> fail "%s: jobs_ladder is empty" path
+  | Json.List rungs ->
+      let prev_jobs = ref 0 in
+      let dps1 = ref 0. in
+      let best_speedup = ref 0. in
+      List.iteri
+        (fun idx r ->
+          let rctx = Printf.sprintf "jobs_ladder[%d]" idx in
+          let jobs = int_of_float (decomp_num path rctx r "jobs") in
+          if idx = 0 && jobs <> 1 then
+            fail "%s: %s: ladder must start at jobs = 1" path rctx;
+          if jobs <= !prev_jobs then
+            fail "%s: %s: jobs %d after %d — not increasing" path rctx jobs
+              !prev_jobs;
+          prev_jobs := jobs;
+          ignore (decomp_num path rctx r "seconds");
+          let dps = decomp_num path rctx r "demands_per_sec" in
+          if dps <= 0. then fail "%s: %s: demands_per_sec <= 0" path rctx;
+          if idx = 0 then dps1 := dps;
+          let sp = decomp_num path rctx r "speedup_vs_j1" in
+          if sp > !best_speedup then best_speedup := sp;
+          match member "summary_equal" r with
+          | Some (Json.Bool true) -> ()
+          | Some (Json.Bool false) ->
+              fail
+                "%s: %s: summary_equal is false — parallel serving broke \
+                 the determinism contract"
+                path rctx
+          | _ -> fail "%s: %s.summary_equal missing or not a bool" path rctx)
+        rungs;
+      (match require_jobs_speedup with
+      | None -> ()
+      | Some f ->
+          if !best_speedup < f then
+            fail
+              "%s: jobs ladder best speedup %.2fx < required %.2fx (needs \
+               a multi-core host)"
+              path !best_speedup f)
+  | _ -> fail "%s: jobs_ladder is not a list" path);
   match require path "results" doc with
   | Json.List [] -> fail "%s: results is empty" path
   | Json.List entries ->
       (* (family, engine, reuse) -> last n seen, for ladder monotonicity *)
       let last_n : (string * string * bool, int) Hashtbl.t =
         Hashtbl.create 8
+      in
+      (* family -> (n, hotspot rr cmax / ll cmax) per entry, for the
+         congestion-win requirement at each family's top rung *)
+      let wins : (string, (int * float) list ref) Hashtbl.t =
+        Hashtbl.create 4
       in
       let congest_checked = ref 0 in
       List.iteri
@@ -469,55 +516,101 @@ let check_route_bench path =
             [ "preprocess_seconds"; "clusters"; "shortcuts"; "rebuilt_leaves";
               "reused_leaves"; "tree_height" ];
           (match member "patterns" e with
-          | Some (Json.List ps) when List.length ps = 2 ->
-              let seen_patterns = ref [] in
+          | Some (Json.List ps) when List.length ps = 4 ->
+              (* v2: each workload is served once per selection policy on
+                 the same batch; collect (pattern, policy) -> stats *)
+              let seen = ref [] in
               List.iter
                 (fun p ->
                   let pctx = Printf.sprintf "%s.patterns" ctx in
-                  let pname =
-                    match member "pattern" p with
+                  let pstr k =
+                    match member k p with
                     | Some (Json.Str s) -> s
-                    | _ -> fail "%s: %s.pattern missing" path pctx
+                    | _ -> fail "%s: %s.%s missing" path pctx k
                   in
-                  if List.mem pname !seen_patterns then
-                    fail "%s: %s: duplicate pattern %S" path pctx pname;
-                  seen_patterns := pname :: !seen_patterns;
+                  let pname = pstr "pattern" in
+                  let policy = pstr "policy" in
+                  if policy <> "round_robin" && policy <> "least_loaded" then
+                    fail "%s: %s: unknown policy %S" path pctx policy;
+                  if List.mem_assoc (pname, policy) !seen then
+                    fail "%s: %s: duplicate %s/%s serve" path pctx pname
+                      policy;
                   let num k = decomp_num path pctx p k in
                   let demands = int_of_float (num "demands") in
                   let delivered = int_of_float (num "delivered") in
                   let failed = int_of_float (num "failed") in
                   if delivered + failed <> demands then
                     fail
-                      "%s: %s (%s): delivered %d + failed %d <> demands %d"
-                      path pctx pname delivered failed demands;
+                      "%s: %s (%s/%s): delivered %d + failed %d <> demands %d"
+                      path pctx pname policy delivered failed demands;
                   if failed > 0 then
                     fail
-                      "%s: %s (%s): %d unroutable demands on a connected \
+                      "%s: %s (%s/%s): %d unroutable demands on a connected \
                        family"
-                      path pctx pname failed;
+                      path pctx pname policy failed;
                   let p50 = num "rounds_p50" in
                   let p99 = num "rounds_p99" in
                   let pmax = num "rounds_max" in
                   if not (p50 <= p99 && p99 <= pmax) then
                     fail
-                      "%s: %s (%s): percentiles not ordered (p50 %.0f, \
+                      "%s: %s (%s/%s): percentiles not ordered (p50 %.0f, \
                        p99 %.0f, max %.0f)"
-                      path pctx pname p50 p99 pmax;
+                      path pctx pname policy p50 p99 pmax;
                   let cmax = num "congestion_max" in
                   let ctot = num "congestion_total" in
                   if cmax > ctot then
                     fail
-                      "%s: %s (%s): congestion_max %.0f > total %.0f"
-                      path pctx pname cmax ctot;
+                      "%s: %s (%s/%s): congestion_max %.0f > total %.0f"
+                      path pctx pname policy cmax ctot;
                   if num "demands_per_sec" <= 0. then
-                    fail "%s: %s (%s): demands_per_sec <= 0" path pctx pname)
+                    fail "%s: %s (%s/%s): demands_per_sec <= 0" path pctx
+                      pname policy;
+                  seen := ((pname, policy), (delivered, cmax)) :: !seen)
                 ps;
+              let get pp =
+                match List.assoc_opt pp !seen with
+                | Some v -> v
+                | None ->
+                    fail "%s: %s: missing %s/%s serve" path ctx (fst pp)
+                      (snd pp)
+              in
               List.iter
-                (fun want ->
-                  if not (List.mem want !seen_patterns) then
-                    fail "%s: %s: missing pattern %S" path ctx want)
-                [ "random"; "hotspot" ]
-          | _ -> fail "%s: %s.patterns must list both workloads" path ctx);
+                (fun pname ->
+                  let d_rr, cm_rr = get (pname, "round_robin") in
+                  let d_ll, cm_ll = get (pname, "least_loaded") in
+                  if d_rr <> d_ll then
+                    fail
+                      "%s: %s (%s): policies disagree on delivered (%d rr \
+                       vs %d ll)"
+                      path ctx pname d_rr d_ll;
+                  (* least-loaded must never be materially worse than the
+                     round-robin baseline on the same batch. The slack
+                     absorbs epoch-snapshot herding: within an epoch every
+                     task diverts against the same stale congestion, which
+                     can overshoot on configs whose baseline is already
+                     near the floor; the 2x win is gated separately at the
+                     top rungs *)
+                  if cm_ll > cm_rr *. 1.25 +. 1. then
+                    fail
+                      "%s: %s (%s): least-loaded congestion_max %.0f > \
+                       round-robin %.0f"
+                      path ctx pname cm_ll cm_rr)
+                [ "random"; "hotspot" ];
+              let _, cm_rr = get ("hotspot", "round_robin") in
+              let _, cm_ll = get ("hotspot", "least_loaded") in
+              let win = cm_rr /. Float.max 1. cm_ll in
+              let cell =
+                match Hashtbl.find_opt wins family with
+                | Some c -> c
+                | None ->
+                    let c = ref [] in
+                    Hashtbl.add wins family c;
+                    c
+              in
+              cell := (n, win) :: !cell
+          | _ ->
+              fail "%s: %s.patterns must serve both workloads under both \
+                    policies" path ctx);
           (match member "congest" e with
           | Some Json.Null -> ()
           | Some (Json.Obj _ as c) ->
@@ -556,6 +649,25 @@ let check_route_bench path =
           "%s: no entry executed its plans on the simulator — at least one \
            rung must be small enough for the CONGEST side"
           path;
+      (match require_congestion_win with
+      | None -> ()
+      | Some f ->
+          Hashtbl.iter
+            (fun family cell ->
+              let top =
+                List.fold_left (fun acc (n, _) -> max acc n) 0 !cell
+              in
+              let best =
+                List.fold_left
+                  (fun acc (n, w) -> if n = top then Float.max acc w else acc)
+                  0. !cell
+              in
+              if best < f then
+                fail
+                  "%s: %s at n = %d: best hotspot congestion win %.2fx < \
+                   required %.2fx"
+                  path family top best f)
+            wins);
       Printf.printf
         "%s: route-bench ok (%d entries, %d simulator-checked)\n" path
         (List.length entries) !congest_checked
@@ -567,7 +679,8 @@ let usage () =
     \       check_profile.exe --compare A B\n\
     \       check_profile.exe --congest-bench BENCH\n\
     \       check_profile.exe --decomp-bench BENCH [--require-frontier]\n\
-    \       check_profile.exe --route-bench BENCH";
+    \       check_profile.exe --route-bench BENCH \
+     [--require-congestion-win F] [--require-jobs-speedup F]";
   exit 2
 
 let () =
@@ -592,8 +705,25 @@ let () =
        with Bad msg ->
          prerr_endline msg;
          exit 1)
-  | [ _; "--route-bench"; bench ] ->
-      (try check_route_bench bench
+  | _ :: "--route-bench" :: bench :: rest ->
+      let rec flags win speedup = function
+        | [] -> (win, speedup)
+        | "--require-congestion-win" :: f :: tl ->
+            (match float_of_string_opt f with
+            | Some v -> flags (Some v) speedup tl
+            | None -> usage ())
+        | "--require-jobs-speedup" :: f :: tl ->
+            (match float_of_string_opt f with
+            | Some v -> flags win (Some v) tl
+            | None -> usage ())
+        | _ -> usage ()
+      in
+      let require_congestion_win, require_jobs_speedup =
+        flags None None rest
+      in
+      (try
+         check_route_bench bench ~require_congestion_win
+           ~require_jobs_speedup
        with Bad msg ->
          prerr_endline msg;
          exit 1)

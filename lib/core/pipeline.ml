@@ -201,8 +201,8 @@ let solve_locally t f = Array.map f t.clusters
 (* the expander-routing serving layer over the prepared decomposition;
    both engines feed it the same shared record, so witness reuse kicks
    in exactly where matchings were retained *)
-let routing_service ?reuse ?seed t =
-  Route.Service.preprocess ?reuse ?seed t.graph t.decomposition
+let routing_service ?reuse ?seed ?pool t =
+  Route.Service.preprocess ?reuse ?seed ?pool t.graph t.decomposition
 
 let broadcast_result t ~payload =
   match t.report.election_stats with

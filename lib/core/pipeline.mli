@@ -81,12 +81,15 @@ val prepare :
     computation) and returns the per-cluster results. *)
 val solve_locally : t -> (cluster -> 'a) -> 'a array
 
-(** [routing_service ?reuse ?seed t] builds the expander-routing serving
-    layer ({!Route.Service}) over the prepared decomposition: a witness
-    hierarchy reusing the engines' retained cut-matching matchings
-    ([reuse], default [true]), answering batched demand matrices as a
-    planner or as a CONGEST workload. *)
-val routing_service : ?reuse:bool -> ?seed:int -> t -> Route.Service.t
+(** [routing_service ?reuse ?seed ?pool t] builds the expander-routing
+    serving layer ({!Route.Service}) over the prepared decomposition: a
+    witness hierarchy reusing the engines' retained cut-matching
+    matchings ([reuse], default [true]), answering batched demand
+    matrices as a planner or as a CONGEST workload. [pool] parallelizes
+    leaf preprocessing and every serve, with byte-identical results at
+    any worker count. *)
+val routing_service :
+  ?reuse:bool -> ?seed:int -> ?pool:Parallel.Pool.t -> t -> Route.Service.t
 
 (** [broadcast_result t ~payload] simulates broadcasting one word from each
     leader over its cluster and returns the stats (Simulated mode); in

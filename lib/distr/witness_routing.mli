@@ -4,12 +4,17 @@
 
     The expander-routing planner ([lib/route]) turns each demand into a
     concrete vertex path along the witness hierarchy; this module ships
-    one token per demand along its path on the CONGEST simulator,
-    forwarding at most [capacity = bandwidth / token_bits] tokens per
-    edge per round and parking the excess in per-neighbor queues. It
-    draws no randomness, so at any shards × jobs point (and under a
-    fixed fault seed) the outcome is a pure function of the plans —
-    planner and simulator deliver the same multiset of demands. *)
+    one token per demand along its path on the CONGEST simulator. Each
+    edge sends one {e flight} per round: a batch of parked tokens
+    costing one framing word plus two id-words (demand, position) per
+    token, sized to the bandwidth budget — so under the default budget
+    an edge moves [((budget / id_bits) - 1) / 2] tokens per round
+    instead of the single-token wave of the original shipper, and
+    batches drain in proportionally fewer rounds. The excess parks in
+    per-neighbor queues. It draws no randomness, so at any shards × jobs
+    point (and under a fixed fault seed) the outcome is a pure function
+    of the plans — planner and simulator deliver the same multiset of
+    demands. *)
 
 type result = {
   delivered : (int * int list) list;

@@ -22,6 +22,9 @@ type params = {
   height_scale : float;       (* height limit = ceil(scale * log2 n / tau) *)
   potential_drop : float;     (* declare expander when P <= drop * P0 *)
   global_relabel_period : int;
+  plateau_window : int;       (* accept after this many low-drop rounds; 0 off *)
+  plateau_drop : float;       (* relative per-round drop counted as progress *)
+  scale_vectors : bool;       (* scale flow_vectors down with cluster size *)
 }
 
 let default =
@@ -33,7 +36,13 @@ let default =
     height_scale = 1.0;
     potential_drop = 1e-3;
     global_relabel_period = 8;
+    plateau_window = 0;
+    plateau_drop = 0.;
+    scale_vectors = false;
   }
+
+let adaptive =
+  { default with plateau_window = 2; plateau_drop = 0.05; scale_vectors = true }
 
 type witness = {
   rounds : int;            (* rounds actually played *)
@@ -86,7 +95,15 @@ let run ?(params = default) g ~tau ~seed =
               (ceil (params.height_scale *. log2f (float_of_int n) /. tau))))
     in
     let net = Net.of_graph ~capacity:(fun _ -> cap) g in
-    let k = max 1 params.flow_vectors in
+    let k =
+      let fv = max 1 params.flow_vectors in
+      if params.scale_vectors then
+        (* small clusters mix with fewer projection vectors; one per ~7
+           doubling levels, capped at the configured count *)
+        let lg = int_of_float (ceil (log2f (float_of_int n))) in
+        max 1 (min fv (lg / 7))
+      else fv
+    in
     let vecs =
       Array.init k (fun i ->
           let st =
@@ -105,6 +122,8 @@ let run ?(params = default) g ~tau ~seed =
     let verdict = ref None in
     let round = ref 0 in
     let flow_calls = ref 0 in
+    let prev_potential = ref p0 in
+    let plateau_streak = ref 0 in
     while !verdict = None && !round < rounds_cap do
       let active = vecs.(!round mod k) in
       (* flow-free check: sweep the projection order itself *)
@@ -167,7 +186,8 @@ let run ?(params = default) g ~tau ~seed =
                   x.(b) <- avg)
                 pairs)
             vecs;
-          if potential_of vecs <= params.potential_drop *. p0 then
+          let p = potential_of vecs in
+          let accept () =
             verdict :=
               Some
                 (Expander
@@ -176,7 +196,22 @@ let run ?(params = default) g ~tau ~seed =
                      embeddings = !embeddings;
                      congestion = cap;
                      max_path_length = !max_path_length;
-                     potential = potential_of vecs /. p0 })
+                     potential = p /. p0 })
+          in
+          if p <= params.potential_drop *. p0 then accept ()
+          else if params.plateau_window > 0 then begin
+            (* adaptive budget: successive routed rounds that barely move
+               the potential mean the remaining variance is already spread
+               across the embedded matchings — stop paying for more flow *)
+            let rel = (!prev_potential -. p) /. max epsilon_float !prev_potential in
+            if rel < params.plateau_drop then incr plateau_streak
+            else plateau_streak := 0;
+            if !plateau_streak >= params.plateau_window then begin
+              Obs.Metric.incr "cm.plateau_exits";
+              accept ()
+            end
+          end;
+          prev_potential := p
         end
         else begin
           (* routing failed: the level structure certifies a cut *)

@@ -20,9 +20,24 @@ type params = {
   height_scale : float;     (** height limit = ceil(scale * log2 n / tau) *)
   potential_drop : float;   (** declare expander when P <= drop * P0 *)
   global_relabel_period : int;
+  plateau_window : int;
+      (** accept as an expander after this many consecutive routed rounds
+          whose relative potential drop stays below [plateau_drop];
+          [0] disables the early exit *)
+  plateau_drop : float;
+  scale_vectors : bool;
+      (** scale the projection-vector count down with cluster size
+          (one per ~7 doubling levels, capped at [flow_vectors]) *)
 }
 
 val default : params
+
+(** [default] with the adaptive budgets switched on: plateau early-exit
+    after 2 stalled rounds at a 5% relative-drop threshold, and
+    size-scaled projection vectors. Used by rebuild-mode witness games in
+    [Route.Hierarchy]; [default] keeps the decomposition engine's
+    behaviour bit-identical. *)
+val adaptive : params
 
 (** Everything needed to audit an acceptance: the routed matchings embed
     in the cluster with per-edge congestion [congestion] and path length

@@ -1,20 +1,40 @@
 open Sparse_graph
 
-(* Batched serving on top of the witness hierarchy. [serve] is the pure
+(* Batched serving on top of the witness hierarchy. [serve] is the
    in-memory planner: it answers a demand matrix with per-demand path
-   lengths (p50/p99/max) and per-edge weighted congestion, reusing one
-   path buffer so a million-demand batch allocates nothing per demand
-   beyond the stats. [plan] retains the concrete paths; [serve_congest]
-   executes them as a CONGEST workload on the sharded simulator via
-   Distr.Witness_routing and checks the deliveries against the planner. *)
+   lengths (p50/p99/max) and per-edge weighted congestion. The batch is
+   sharded over the worker pool in fixed-size epochs: each task routes
+   one chunk with a private router and a private snapshot of the
+   congestion array, and the coordinator folds the congestion deltas and
+   cursor advances back in task order after every epoch. Chunk and epoch
+   sizes are constants, so the snapshots every demand is routed against
+   — and therefore every path, length and summary byte — are identical
+   at every [--jobs].
+
+   [plan] retains the concrete paths; [serve_congest] executes the
+   single serve pass's plans as a CONGEST workload on the sharded
+   simulator via Distr.Witness_routing and checks the deliveries against
+   the planner. *)
 
 type demand = { src : int; dst : int; weight : int }
+
+(* Epoch geometry: routing is sharded in chunks of [chunk] demands,
+   [tasks_per_epoch] chunks per epoch. All snapshots are taken at epoch
+   boundaries, so these constants are part of the output contract —
+   changing them changes which congestion state each demand sees. *)
+let chunk = 2048
+let tasks_per_epoch = 8
 
 type t = {
   g : Graph.t;
   hier : Hierarchy.t;
+  pool : Parallel.Pool.t;
   cong : int array;  (* per edge id, weighted load of the last batch *)
-  out : Hierarchy.vec;
+  coord : Hierarchy.router;        (* the merged serving stream *)
+  trouters : Hierarchy.router array;  (* per task-slot routers *)
+  tcong : int array array;            (* per task-slot load snapshots *)
+  touts : Hierarchy.vec array;        (* per task-slot path buffers *)
+  tspan : unit array;                 (* mapi input, one slot per task *)
 }
 
 type summary = {
@@ -29,16 +49,71 @@ type summary = {
   congestion_total : int;  (* sum of weight * length over demands *)
 }
 
-let preprocess ?reuse ?seed g decomp =
+let preprocess ?reuse ?seed ?(pool = Parallel.Pool.sequential) g decomp =
+  let hier = Hierarchy.build ?reuse ?seed ~pool g decomp in
+  let m = Graph.m g in
   {
     g;
-    hier = Hierarchy.build ?reuse ?seed g decomp;
-    cong = Array.make (Graph.m g) 0;
-    out = Hierarchy.vec_create ();
+    hier;
+    pool;
+    cong = Array.make m 0;
+    coord = Hierarchy.make_router hier;
+    trouters = Array.init tasks_per_epoch (fun _ -> Hierarchy.make_router hier);
+    tcong = Array.init tasks_per_epoch (fun _ -> Array.make m 0);
+    touts = Array.init tasks_per_epoch (fun _ -> Hierarchy.vec_create ());
+    tspan = Array.make tasks_per_epoch ();
   }
 
 let hierarchy t = t.hier
 let congestion t = t.cong
+
+(* in-place monomorphic quicksort of a.(0 .. len-1): insertion sort below
+   a small cutoff, median-of-three pivot (same shape as Graph.sort_row,
+   without the payload) *)
+let sort_ints (a : int array) len =
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  in
+  let rec go lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do
+          incr i
+        done;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      if lo < !j then go lo !j;
+      if !i < hi then go !i hi
+    end
+  in
+  if len > 1 then go 0 (len - 1)
 
 (* nearest-rank percentile of the sorted prefix [a.(0 .. len-1)] *)
 let percentile a len p =
@@ -48,44 +123,100 @@ let percentile a len p =
     a.(max 0 (min (len - 1) (rank - 1)))
   end
 
-(* route one demand into [t.out] and charge its congestion; returns the
-   path length in edges, or -1 if unroutable *)
-let serve_one t d =
-  if Hierarchy.route t.hier t.out d.src d.dst then begin
-    let out = t.out in
-    for i = 1 to out.Hierarchy.len - 1 do
-      let e = Graph.find_edge t.g out.Hierarchy.buf.(i - 1) out.Hierarchy.buf.(i) in
-      t.cong.(e) <- t.cong.(e) + d.weight
-    done;
-    out.Hierarchy.len - 1
-  end
-  else -1
+(* charge the path in [out] against [cong] *)
+(* lint: hot *)
+let charge g cong (out : Hierarchy.vec) w =
+  for i = 1 to out.Hierarchy.len - 1 do
+    let e = Graph.find_edge g out.Hierarchy.buf.(i - 1) out.Hierarchy.buf.(i) in
+    cong.(e) <- cong.(e) + w
+  done
 
-let serve t (ds : demand array) =
+(* route demands [lo, hi) with task slot [ti]'s private router and load
+   snapshot, recording lengths (and paths) at the demands' own indices *)
+let serve_chunk t ~policy ~ti (ds : demand array) lengths paths lo hi =
+  let rt = t.trouters.(ti) in
+  let tc = t.tcong.(ti) in
+  let out = t.touts.(ti) in
+  Array.blit t.cong 0 tc 0 (Array.length t.cong);
+  Hierarchy.sync_router t.hier ~src:t.coord ~dst:rt;
+  let keep = Array.length paths > 0 in
+  for i = lo to hi - 1 do
+    let d = ds.(i) in
+    if Hierarchy.route ~policy ~cong:tc t.hier rt out d.src d.dst then begin
+      charge t.g tc out d.weight;
+      lengths.(i) <- out.Hierarchy.len - 1;
+      if keep then paths.(i) <- Hierarchy.vec_to_array out
+    end
+    else lengths.(i) <- -1
+  done
+
+(* fold the epoch's task snapshots into the global congestion array:
+   new = old + sum of per-task deltas, accumulated in task order *)
+(* lint: hot *)
+let merge_cong t ~active =
+  let m = Array.length t.cong in
+  for e = 0 to m - 1 do
+    let base = t.cong.(e) in
+    let s = ref base in
+    for ti = 0 to active - 1 do
+      s := !s + t.tcong.(ti).(e) - base
+    done;
+    t.cong.(e) <- !s
+  done
+
+(* the single serving pass behind [serve] / [plan] / [serve_congest]:
+   routes every demand once; fills and returns the per-demand lengths
+   (-1 = unroutable) and, when [keep], the concrete paths *)
+let serve_core ~policy ~keep t (ds : demand array) =
   Obs.Span.with_ "route.serve" @@ fun () ->
   Array.fill t.cong 0 (Array.length t.cong) 0;
-  let fb0 = Hierarchy.fallbacks t.hier in
-  let lengths = Array.make (max 1 (Array.length ds)) 0 in
+  Hierarchy.reset_router t.hier t.coord;
+  let nd = Array.length ds in
+  let lengths = Array.make (max 1 nd) (-1) in
+  let paths = if keep then Array.make (max 1 nd) [||] else [||] in
+  let epoch = chunk * tasks_per_epoch in
+  let nepochs = (nd + epoch - 1) / epoch in
+  for ep = 0 to nepochs - 1 do
+    let base = ep * epoch in
+    let active = min tasks_per_epoch ((nd - base + chunk - 1) / chunk) in
+    ignore
+      (Parallel.Pool.mapi t.pool
+         (fun ti () ->
+           let lo = base + (ti * chunk) in
+           let hi = min nd (lo + chunk) in
+           if lo < hi then serve_chunk t ~policy ~ti ds lengths paths lo hi)
+         t.tspan);
+    merge_cong t ~active;
+    for ti = 0 to active - 1 do
+      Hierarchy.merge_router t.hier ~src:t.trouters.(ti) ~dst:t.coord
+    done
+  done;
+  (lengths, paths)
+
+let summarize t (ds : demand array) lengths =
+  let nd = Array.length ds in
   let del = ref 0 and failed = ref 0 in
-  Array.iter
-    (fun d ->
-      match serve_one t d with
-      | -1 -> incr failed
-      | len ->
-          lengths.(!del) <- len;
-          incr del)
-    ds;
+  for i = 0 to nd - 1 do
+    if lengths.(i) >= 0 then incr del else incr failed
+  done;
   let del = !del in
-  let sorted = Array.sub lengths 0 del in
-  Array.sort compare sorted;
+  let sorted = Array.make (max 1 del) 0 in
+  let k = ref 0 in
+  for i = 0 to nd - 1 do
+    if lengths.(i) >= 0 then begin
+      sorted.(!k) <- lengths.(i);
+      incr k
+    end
+  done;
+  sort_ints sorted del;
   let congestion_max = Array.fold_left max 0 t.cong in
   let congestion_total = Array.fold_left ( + ) 0 t.cong in
   let s =
     {
-      demands = Array.length ds;
+      demands = nd;
       delivered = del;
       failed = !failed;
-      fallbacks = Hierarchy.fallbacks t.hier - fb0;
+      fallbacks = Hierarchy.router_fallbacks t.coord;
       rounds_p50 = percentile sorted del 50;
       rounds_p99 = percentile sorted del 99;
       rounds_max = (if del = 0 then 0 else sorted.(del - 1));
@@ -103,14 +234,14 @@ let serve t (ds : demand array) =
   end;
   s
 
+let serve ?(policy = Hierarchy.Least_loaded) t (ds : demand array) =
+  let lengths, _ = serve_core ~policy ~keep:false t ds in
+  summarize t ds lengths
+
 (* retained plans, [||] for an unroutable demand *)
-let plan t (ds : demand array) =
-  Array.map
-    (fun d ->
-      if Hierarchy.route t.hier t.out d.src d.dst then
-        Hierarchy.vec_to_array t.out
-      else [||])
-    ds
+let plan ?(policy = Hierarchy.Least_loaded) t (ds : demand array) =
+  let _, paths = serve_core ~policy ~keep:true t ds in
+  Array.sub paths 0 (Array.length ds)
 
 type congest_run = {
   planner : summary;
@@ -119,15 +250,20 @@ type congest_run = {
       (* simulator delivered exactly the planner's demand multiset *)
 }
 
-let serve_congest ?exec ?faults t (ds : demand array) ~max_rounds =
-  let planner = serve t ds in
-  let plans = plan t ds in
-  let routable =
-    Array.of_list
-      (List.filter
-         (fun p -> Array.length p > 0)
-         (Array.to_list plans))
-  in
+let serve_congest ?exec ?faults ?(policy = Hierarchy.Least_loaded) t
+    (ds : demand array) ~max_rounds =
+  (* one routing pass: the served paths are the shipped plans *)
+  let lengths, paths = serve_core ~policy ~keep:true t ds in
+  let planner = summarize t ds lengths in
+  let routable = Array.make (max 1 planner.delivered) [||] in
+  let k = ref 0 in
+  for i = 0 to Array.length ds - 1 do
+    if lengths.(i) >= 0 then begin
+      routable.(!k) <- paths.(i);
+      incr k
+    end
+  done;
+  let routable = Array.sub routable 0 planner.delivered in
   let routed =
     Distr.Witness_routing.run ?exec ?faults t.g ~plans:routable ~max_rounds
   in

@@ -1,10 +1,17 @@
 (** Batched demand serving on top of the witness {!Hierarchy}.
 
     [preprocess] builds the hierarchy once; [serve] then answers demand
-    matrices as a pure in-memory planner (reusing one path buffer, so a
-    million-demand batch costs no per-demand allocation beyond stats),
-    and [serve_congest] additionally executes the planned paths as a
-    CONGEST workload on the (optionally sharded) simulator via
+    matrices as an in-memory planner. The batch is sharded over the
+    worker pool in fixed-size epochs (2048-demand chunks, 8 chunks per
+    epoch): each task routes its chunk against a private router and a
+    private snapshot of the per-edge congestion array, and the
+    coordinator merges congestion deltas and cursor advances back in
+    task order after every epoch. Because the epoch geometry is
+    constant, every demand sees the same congestion snapshot — and the
+    summary is byte-identical — at every [--jobs] value.
+
+    [serve_congest] additionally executes the same pass's planned paths
+    as a CONGEST workload on the (optionally sharded) simulator via
     {!Distr.Witness_routing}, checking the simulator's deliveries
     against the planner's. *)
 
@@ -12,14 +19,16 @@ type demand = { src : int; dst : int; weight : int }
 
 type t
 
-(** [preprocess ?reuse ?seed g decomp] — see {!Hierarchy.build}. *)
-val preprocess : ?reuse:bool -> ?seed:int -> Sparse_graph.Graph.t ->
-  Spectral.Expander_decomposition.t -> t
+(** [preprocess ?reuse ?seed ?pool g decomp] — see {!Hierarchy.build}.
+    [pool] (default sequential) parallelizes both the leaf builds and
+    every subsequent serve. *)
+val preprocess : ?reuse:bool -> ?seed:int -> ?pool:Parallel.Pool.t ->
+  Sparse_graph.Graph.t -> Spectral.Expander_decomposition.t -> t
 
 val hierarchy : t -> Hierarchy.t
 
-(** Per-edge weighted congestion charged by the latest [serve] /
-    [serve_congest] batch (indexed by edge id). *)
+(** Per-edge weighted congestion charged by the latest [serve] / [plan]
+    / [serve_congest] batch (indexed by edge id). *)
 val congestion : t -> int array
 
 type summary = {
@@ -34,12 +43,15 @@ type summary = {
   congestion_total : int;  (** sum of weight × length over demands *)
 }
 
-(** Plan every demand, charge congestion (reset per batch), summarize. *)
-val serve : t -> demand array -> summary
+(** Plan every demand under [policy] (default
+    {!Hierarchy.Least_loaded}), charge congestion (reset per batch),
+    summarize. *)
+val serve : ?policy:Hierarchy.policy -> t -> demand array -> summary
 
 (** Retained plans (full vertex paths, src first), [[||]] for an
-    unroutable demand. *)
-val plan : t -> demand array -> int array array
+    unroutable demand. Identical to the paths [serve] charges: [plan]
+    runs the same serving pass (and leaves the same congestion array). *)
+val plan : ?policy:Hierarchy.policy -> t -> demand array -> int array array
 
 type congest_run = {
   planner : summary;
@@ -49,7 +61,9 @@ type congest_run = {
           demands — every token at its plan's destination, none lost *)
 }
 
-(** [serve_congest ?exec ?faults t ds ~max_rounds] plans [ds] and ships
-    one token per routable demand on the CONGEST simulator. *)
+(** [serve_congest ?exec ?faults ?policy t ds ~max_rounds] routes [ds]
+    once, then ships one token per routable demand along the served
+    paths on the CONGEST simulator. *)
 val serve_congest : ?exec:Congest.Network.exec -> ?faults:Congest.Faults.t ->
-  t -> demand array -> max_rounds:int -> congest_run
+  ?policy:Hierarchy.policy -> t -> demand array -> max_rounds:int ->
+  congest_run

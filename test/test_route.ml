@@ -28,10 +28,10 @@ let exec_points =
          ( Printf.sprintf "s%dj%d" shards jobs,
            Congest.Network.Sharded { shards; pool = pool_of jobs } ))
 
-let service ?reuse ?(engine = Core.Pipeline.Spectral_engine)
+let service ?reuse ?pool ?(engine = Core.Pipeline.Spectral_engine)
     ?(epsilon = 0.3) g =
   let p = Core.Pipeline.prepare ~mode:Core.Pipeline.Charged ~engine g ~epsilon ~seed:5 in
-  Core.Pipeline.routing_service ?reuse ~seed:11 p
+  Core.Pipeline.routing_service ?reuse ?pool ~seed:11 p
 
 let demands_of g ~count ~seed =
   let st = Random.State.make [| seed; 0x5eed |] in
@@ -97,6 +97,65 @@ let test_summary_accounting () =
   let cong = Route.Service.congestion svc in
   checki "per-edge loads sum to the total" s.Route.Service.congestion_total
     (Array.fold_left ( + ) 0 cong)
+
+(* hot-spot pattern: most demands converge on one destination *)
+let hot_demands g ~count ~seed =
+  let st = Random.State.make [| seed; 0x407 |] in
+  let n = Graph.n g in
+  let hot = n / 2 in
+  Array.init count (fun _ ->
+      let dst = if Random.State.float st 1.0 < 0.9 then hot else Random.State.int st n in
+      {
+        Route.Service.src = Random.State.int st n;
+        dst;
+        weight = 1;
+      })
+
+(* least-loaded selection must not make the hottest edge worse than
+   round-robin on these pinned workloads (the v2 bench axis, in the
+   small) *)
+let test_least_loaded_beats_round_robin () =
+  List.iter
+    (fun (g, count, seed) ->
+      let svc = service g in
+      let ds = hot_demands g ~count ~seed in
+      let rr = Route.Service.serve ~policy:Route.Hierarchy.Round_robin svc ds in
+      let ll = Route.Service.serve ~policy:Route.Hierarchy.Least_loaded svc ds in
+      checki "same deliveries under both policies" rr.Route.Service.delivered
+        ll.Route.Service.delivered;
+      checkb "least-loaded congestion_max <= round-robin" true
+        (ll.Route.Service.congestion_max <= rr.Route.Service.congestion_max))
+    [
+      (Generators.grid 12 12, 2000, 21);
+      (Generators.random_planar 160 1.7 ~seed:6, 2000, 22);
+      (Generators.random_regular 96 4 ~seed:3, 1500, 23);
+    ]
+
+(* epoch-parallel serving: summaries and plans are byte-identical at
+   every pool size, for both policies *)
+let test_jobs_parity_serve () =
+  let g = Generators.grid 11 9 in
+  let ds = demands_of g ~count:9000 ~seed:17 in
+  List.iter
+    (fun policy ->
+      let base = service ~pool:(pool_of 1) g in
+      let s1 = Route.Service.serve ~policy base ds in
+      let p1 = Route.Service.plan ~policy base ds in
+      List.iter
+        (fun jobs ->
+          let svc = service ~pool:(pool_of jobs) g in
+          let s = Route.Service.serve ~policy svc ds in
+          checkb
+            (Printf.sprintf "summary identical at jobs %d" jobs)
+            true (s = s1);
+          let p = Route.Service.plan ~policy svc ds in
+          checkb
+            (Printf.sprintf "plans identical at jobs %d" jobs)
+            true (p = p1);
+          checkb "congestion arrays identical" true
+            (Route.Service.congestion svc = Route.Service.congestion base))
+        [ 2; 4 ])
+    [ Route.Hierarchy.Round_robin; Route.Hierarchy.Least_loaded ]
 
 let test_reuse_vs_rebuild () =
   let g = Generators.random_regular 48 4 ~seed:2 in
@@ -296,6 +355,52 @@ let qcheck_witness_conservation =
       got + r.Distr.Witness_routing.undelivered = Array.length plans
       && Distr.Witness_routing.check ~plans r)
 
+(* qcheck: the serve summary's congestion_total always equals the
+   weighted sum of the planned path lengths, under either policy *)
+let accounting_case_arb =
+  let open QCheck.Gen in
+  let gen =
+    let* pick = 0 -- 2 in
+    let* count = 50 -- 250 in
+    let* seed = int_bound 10_000 in
+    let* ll = bool in
+    return (pick, count, seed, ll)
+  in
+  QCheck.make
+    ~print:(fun (pick, count, seed, ll) ->
+      Printf.sprintf "graph %d count %d seed %d policy %s" pick count seed
+        (if ll then "least_loaded" else "round_robin"))
+    gen
+
+let qcheck_congestion_accounting =
+  QCheck.Test.make ~name:"serve: congestion_total = sum weight x length"
+    ~count:30 accounting_case_arb
+    (fun (pick, count, seed, ll) ->
+      let g =
+        match pick with
+        | 0 -> Generators.grid 9 7
+        | 1 -> Generators.random_planar 80 1.6 ~seed:(1 + (seed land 7))
+        | _ -> Generators.random_regular 64 4 ~seed:(1 + (seed land 15))
+      in
+      let policy =
+        if ll then Route.Hierarchy.Least_loaded else Route.Hierarchy.Round_robin
+      in
+      let svc = service g in
+      let ds = demands_of g ~count ~seed in
+      let s = Route.Service.serve ~policy svc ds in
+      let plans = Route.Service.plan ~policy svc ds in
+      let expect = ref 0 in
+      Array.iteri
+        (fun i p ->
+          if Array.length p > 0 then
+            expect :=
+              !expect + (ds.(i).Route.Service.weight * (Array.length p - 1)))
+        plans;
+      s.Route.Service.demands = s.Route.Service.delivered + s.Route.Service.failed
+      && !expect = s.Route.Service.congestion_total
+      && Array.fold_left ( + ) 0 (Route.Service.congestion svc)
+         = s.Route.Service.congestion_total)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let qt t = QCheck_alcotest.to_alcotest t in
@@ -305,6 +410,8 @@ let () =
         [
           tc "plans valid, both engines" test_plans_valid_both_engines;
           tc "summary accounting" test_summary_accounting;
+          tc "least-loaded vs round-robin" test_least_loaded_beats_round_robin;
+          tc "jobs parity (serve epochs)" test_jobs_parity_serve;
           tc "witness reuse vs rebuild" test_reuse_vs_rebuild;
         ] );
       ( "congest",
@@ -315,5 +422,9 @@ let () =
         ] );
       ( "walk router", [ tc "delivery order golden" test_walk_order_golden ] );
       ( "conservation",
-        [ qt qcheck_walk_conservation; qt qcheck_witness_conservation ] );
+        [
+          qt qcheck_walk_conservation;
+          qt qcheck_witness_conservation;
+          qt qcheck_congestion_accounting;
+        ] );
     ]
